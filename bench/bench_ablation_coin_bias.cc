@@ -1,0 +1,77 @@
+// E11 -- Ablation of the fair coin (design choice in Algorithm 1).
+// With P[X_k = 1] = p, Lemma 2 becomes E[|L|] <= p|U| and the pruning
+// argument gives E[|R|] <= (1-p)/2 |U|, so the per-level contraction
+// factor is p + (1-p)/2 = (1+p)/2 -- minimized by small p, but small p
+// makes the tree effectively deeper on the left side and pushes more
+// nodes into base cases. The paper's p = 1/2 balances awake average
+// against correctness margin; this bench sweeps p.
+#include <iostream>
+
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "analysis/verify.h"
+#include "core/sleeping_mis.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+namespace {
+using namespace slumber;
+
+constexpr VertexId kN = 512;
+constexpr std::uint32_t kSeeds = 8;
+}  // namespace
+
+int main() {
+  std::cout << analysis::banner(
+      "E11 / ablation: coin bias p = P[X=1], SleepingMIS on G(" +
+      std::to_string(kN) + ", 8/n), " + std::to_string(kSeeds) + " seeds");
+
+  analysis::Table table({"p", "node-avg awake", "worst awake", "L/U", "R/U",
+                         "(L+R)/U (theory (1+p)/2)", "invalid runs"});
+  for (const double p : {0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9}) {
+    std::vector<double> avg_awake;
+    std::vector<double> worst_awake;
+    double u_total = 0.0;
+    double l_total = 0.0;
+    double r_total = 0.0;
+    std::uint32_t invalid = 0;
+    for (std::uint32_t s = 0; s < kSeeds; ++s) {
+      Rng rng(1000 + s);
+      const Graph g = gen::gnp_avg_degree(kN, 8.0, rng);
+      core::RecursionTrace trace;
+      core::SleepingMisOptions options;
+      options.coin_bias = p;
+      sim::NetworkOptions net_options;
+      net_options.max_message_bits = sim::congest_bits_for(kN);
+      auto [metrics, outputs] = sim::run_protocol(
+          g, 2000 + s, core::sleeping_mis(options, &trace), net_options);
+      // Validity failures are themselves a finding of this ablation
+      // (biased coins collide: the w.h.p. argument needs distinct
+      // sequences); the awake/participation stats remain well-defined.
+      if (!analysis::check_mis(g, outputs).ok()) ++invalid;
+      avg_awake.push_back(metrics.node_avg_awake());
+      worst_awake.push_back(static_cast<double>(metrics.worst_awake()));
+      for (std::uint32_t k = 1; k <= trace.levels; ++k) {
+        const auto level = trace.level_participation(k);
+        u_total += static_cast<double>(level.u_total);
+        l_total += static_cast<double>(level.left_total);
+        r_total += static_cast<double>(level.right_total);
+      }
+    }
+    table.add_row(
+        {analysis::Table::num(p, 2),
+         analysis::Table::num(analysis::summarize(avg_awake).mean),
+         analysis::Table::num(analysis::summarize(worst_awake).mean, 1),
+         analysis::Table::num(l_total / u_total, 3),
+         analysis::Table::num(r_total / u_total, 3),
+         analysis::Table::num((l_total + r_total) / u_total, 3) + " vs " +
+             analysis::Table::num((1.0 + p) / 2.0, 3),
+         analysis::Table::num(std::uint64_t{invalid})});
+  }
+  std::cout << table.render();
+  std::cout << "\nReading: contraction (L+R)/U tracks (1+p)/2; small p means\n"
+               "more pruning per level but the awake average is dominated by\n"
+               "the left-recursion depth a node survives, so p = 1/2 is a\n"
+               "sane default -- matching the paper.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E23 -- Fail-stop robustness sweep. The paper's model assumes fault-free
+// synchronous execution; this bench quantifies degradation when nodes
+// crash (silently, fail-stop) at a per-awake-round rate. Reported per
+// engine and rate: fraction of runs where the surviving decided output
+// violates independence, mean fraction of undecided survivors (coverage
+// holes), and mean crashed fraction. SleepingMIS's fixed sleep schedule
+// means a crashed node's silence is indistinguishable from sleep -- the
+// elimination message it never sent is exactly the failure mode the
+// deferred-decision machinery (Lemma 6) does NOT tolerate.
+#include <iostream>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "algos/matching.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+namespace {
+using namespace slumber;
+using analysis::MisEngine;
+
+struct Outcome {
+  double independence_violation_runs = 0.0;
+  double undecided_fraction = 0.0;
+  double crashed_fraction = 0.0;
+};
+
+Outcome sweep(MisEngine engine, double crash_prob, std::uint32_t seeds) {
+  Outcome out;
+  const VertexId n = 512;
+  for (std::uint32_t s = 0; s < seeds; ++s) {
+    Rng rng(n + s);
+    const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
+    sim::NetworkOptions options;
+    options.max_message_bits = sim::congest_bits_for(n);
+    options.crash_prob = crash_prob;
+    auto [metrics, outputs] =
+        sim::run_protocol(g, 1000 + s, algos::mis_protocol(engine), options);
+
+    bool violated = false;
+    for (const Edge& e : g.edges()) {
+      if (outputs[e.u] == 1 && outputs[e.v] == 1) violated = true;
+    }
+    out.independence_violation_runs += violated ? 1.0 : 0.0;
+    std::uint64_t undecided = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (outputs[v] == -1 && !metrics.node[v].crashed) ++undecided;
+    }
+    out.undecided_fraction += static_cast<double>(undecided) / n;
+    out.crashed_fraction +=
+        static_cast<double>(metrics.crashed_nodes) / n;
+  }
+  out.independence_violation_runs /= seeds;
+  out.undecided_fraction /= seeds;
+  out.crashed_fraction /= seeds;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << analysis::banner(
+      "E23 / fail-stop sweep on G(512, 8/n), 10 seeds: independence "
+      "violations, stranded (undecided) survivors, crashed fraction");
+
+  const std::uint32_t seeds = 10;
+  analysis::Table table({"crash p", "engine", "indep viol (runs)",
+                         "undecided frac", "crashed frac"});
+  for (const double p : {0.0, 0.0005, 0.002, 0.01}) {
+    for (const MisEngine engine :
+         {MisEngine::kGreedy, MisEngine::kLubyA, MisEngine::kSleeping,
+          MisEngine::kFastSleeping}) {
+      const Outcome out = sweep(engine, p, seeds);
+      table.add_row({analysis::Table::num(p, 4),
+                     analysis::engine_name(engine),
+                     analysis::Table::num(out.independence_violation_runs, 2),
+                     analysis::Table::num(out.undecided_fraction, 4),
+                     analysis::Table::num(out.crashed_fraction, 4)});
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nReading: at p = 0 every engine is perfect. Under crashes, "
+               "iterating engines (greedy/Luby) strand only the crashed "
+               "nodes' neighborhoods; the fixed-schedule sleeping engines "
+               "additionally mistake a crashed left-recursion winner's "
+               "silence for 'no MIS neighbor', which can break independence "
+               "-- the quantified price of the model's reliability "
+               "assumption.\n";
+  return 0;
+}

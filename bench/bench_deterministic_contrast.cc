@@ -1,0 +1,75 @@
+// E26 -- The determinism contrast promised in algos/deterministic.h:
+// greedy-by-ID MIS is the simplest deterministic distributed MIS, and
+// on an ID-sorted path a single decision frontier sweeps the graph --
+// Theta(n) worst-case AND Theta(n) node-averaged rounds. Randomization
+// (Luby) or sleeping (Algorithm 1) removes the adversarial ordering.
+// This is why the paper's Table 1 baselines are all randomized: o(n)
+// deterministic general-graph MIS needs network-decomposition
+// machinery (Panconesi-Srinivasan / Rozhon-Ghaffari, cited in
+// Section 1).
+#include <iostream>
+
+#include "algos/deterministic.h"
+#include "analysis/experiment.h"
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "analysis/verify.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+namespace {
+using namespace slumber;
+using analysis::MisEngine;
+}  // namespace
+
+int main() {
+  std::cout << analysis::banner(
+      "E26 / deterministic greedy-by-ID vs randomized engines on the "
+      "adversarial ID-sorted path P_n: node-averaged decision round");
+
+  analysis::Table table({"n", "det greedy avg", "det greedy worst",
+                         "Luby-A avg", "SleepingMIS awake avg"});
+  std::vector<double> ns;
+  std::vector<double> det_avg;
+
+  for (const VertexId n : {64u, 256u, 1024u}) {
+    const Graph g = gen::path(n);
+
+    sim::NetworkOptions options;
+    options.max_message_bits = sim::congest_bits_for(n);
+    auto [det_metrics, det_outputs] = sim::run_protocol(
+        g, 1, algos::deterministic_greedy_mis(), options);
+    if (!analysis::check_mis(g, det_outputs).ok()) {
+      std::cerr << "INVALID deterministic MIS at n=" << n << "\n";
+      return 1;
+    }
+
+    const std::uint32_t seeds = 5;
+    double luby_total = 0.0;
+    double sleeping_total = 0.0;
+    for (std::uint32_t s = 0; s < seeds; ++s) {
+      luby_total +=
+          analysis::run_mis(MisEngine::kLubyA, g, n + s).metrics
+              .node_avg_decided();
+      sleeping_total +=
+          analysis::run_mis(MisEngine::kSleeping, g, n + s).node_avg_awake;
+    }
+
+    ns.push_back(n);
+    det_avg.push_back(det_metrics.node_avg_decided());
+    table.add_row({analysis::Table::num(std::uint64_t{n}),
+                   analysis::Table::num(det_metrics.node_avg_decided()),
+                   analysis::Table::num(det_metrics.worst_finish()),
+                   analysis::Table::num(luby_total / seeds),
+                   analysis::Table::num(sleeping_total / seeds)});
+  }
+  std::cout << table.render();
+
+  const auto fit = analysis::power_fit(ns, det_avg);
+  std::cout << "\nnode-averaged decision growth of deterministic greedy on "
+               "the sorted path: ~n^"
+            << analysis::Table::num(fit.slope, 2)
+            << " (linear frontier sweep); the randomized/sleeping engines "
+               "stay flat or logarithmic on the same graph.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E9 -- The paper's Section 1.1 motivation, quantified: per-node radio
+// energy on unit-disk sensor networks under the Feeney-Nilsson power
+// model. Two accountings:
+//   (a) idealized (sleep = 0 W, the paper's model): sleeping algorithms'
+//       mean energy is flat in n; Luby's grows with log n.
+//   (b) realistic (sleep = 43 mW): Algorithm 1's Theta(n^3) makespan
+//       makes even 43 mW sleeping dominate -- which is exactly why the
+//       paper needs Algorithm 2's polylog makespan.
+#include <iostream>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "energy/energy.h"
+#include "graph/generators.h"
+
+namespace {
+using namespace slumber;
+using analysis::MisEngine;
+
+double mean_energy(MisEngine engine, VertexId n, std::uint64_t seed,
+                   const energy::EnergyModel& model) {
+  const Graph g = gen::make(gen::Family::kUnitDisk, n, seed);
+  const auto run = analysis::run_mis(engine, g, seed + 5);
+  const auto report = energy::evaluate(model, run.metrics);
+  return report.mean_mj;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<MisEngine> engines = {
+      MisEngine::kLubyA, MisEngine::kGreedy, MisEngine::kSleeping,
+      MisEngine::kFastSleeping};
+
+  std::cout << analysis::banner(
+      "E9a / mean per-node energy (mJ), unit-disk sensor graphs, "
+      "IDEALIZED model (sleep = 0 W; paper Section 1.1)");
+  {
+    const energy::EnergyModel model = energy::EnergyModel::idealized();
+    std::vector<std::string> header = {"n"};
+    for (auto e : engines) header.push_back(analysis::engine_name(e));
+    analysis::Table table(header);
+    for (const VertexId n : {128u, 256u, 512u, 1024u, 2048u}) {
+      std::vector<std::string> row = {analysis::Table::num(std::uint64_t{n})};
+      for (const MisEngine engine : engines) {
+        row.push_back(analysis::Table::num(mean_energy(engine, n, 17 * n, model), 3));
+      }
+      table.add_row(row);
+    }
+    std::cout << table.render();
+    std::cout << "Reading: sleeping columns are flat in n, as guaranteed by "
+                 "the O(1) awake bound. The baselines' means are also small "
+                 "on these benign topologies (their node-averaged behavior "
+                 "is an open question, not a lower bound -- paper Sec. 1.3); "
+                 "the guarantee, and the worst-node bill, is where the "
+                 "sleeping model wins.\n";
+  }
+
+  std::cout << analysis::banner(
+      "E9b / same runs, REALISTIC model (sleep = 43 mW)");
+  {
+    const energy::EnergyModel model;  // realistic defaults
+    std::vector<std::string> header = {"n"};
+    for (auto e : engines) header.push_back(analysis::engine_name(e));
+    analysis::Table table(header);
+    for (const VertexId n : {128u, 256u, 512u}) {
+      std::vector<std::string> row = {analysis::Table::num(std::uint64_t{n})};
+      for (const MisEngine engine : engines) {
+        row.push_back(analysis::Table::num(mean_energy(engine, n, 17 * n, model), 1));
+      }
+      table.add_row(row);
+    }
+    std::cout << table.render();
+    std::cout
+        << "Reading: with nonzero sleep power, Algorithm 1's Theta(n^3)\n"
+           "makespan dominates its budget; Fast-SleepingMIS keeps both\n"
+           "awake time AND wall-clock small -- the practical point of\n"
+           "Theorem 2.\n";
+  }
+  return 0;
+}

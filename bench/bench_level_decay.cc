@@ -1,0 +1,66 @@
+// E5 -- Validates Lemma 7: E[Z_{K-i}] <= (3/4)^i * n, the geometric
+// decay of the number of nodes participating at depth i of the
+// recursion tree. This is what makes the total awake work O(n)
+// (Lemma 8: E[C] = O(1) * sum_k E[Z_k] <= O(n) * sum (3/4)^i).
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "core/sleeping_mis.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+namespace {
+using namespace slumber;
+
+constexpr std::uint32_t kSeeds = 60;
+constexpr VertexId kN = 256;
+}  // namespace
+
+int main() {
+  std::cout << analysis::banner(
+      "E5 / Lemma 7: E[Z_{K-i}] vs (3/4)^i n, n=" + std::to_string(kN) +
+      ", G(n, 8/n) and star, " + std::to_string(kSeeds) + " seeds");
+
+  for (const gen::Family family :
+       {gen::Family::kGnpSparse, gen::Family::kStar, gen::Family::kCycle}) {
+    std::vector<double> z_by_depth;
+    std::uint32_t levels = 0;
+    for (std::uint32_t s = 0; s < kSeeds; ++s) {
+      const Graph g = gen::make(family, kN, 40 + s);
+      core::RecursionTrace trace;
+      sim::run_protocol(g, 70 + s, core::sleeping_mis({}, &trace));
+      levels = trace.levels;
+      const auto z = trace.z_by_level();
+      if (z_by_depth.size() < z.size()) z_by_depth.resize(z.size(), 0.0);
+      for (std::uint32_t k = 0; k <= levels; ++k) {
+        z_by_depth[levels - k] += static_cast<double>(z[k]);
+      }
+    }
+    for (double& z : z_by_depth) z /= kSeeds;
+
+    analysis::Table table({"depth i", "measured E[Z_{K-i}]",
+                           "bound (3/4)^i n", "ratio", "total awake so far"});
+    const double n0 = z_by_depth[0];
+    double cumulative = 0.0;
+    for (std::uint32_t depth = 0;
+         depth < std::min<std::size_t>(z_by_depth.size(), 12); ++depth) {
+      cumulative += z_by_depth[depth];
+      const double bound = std::pow(0.75, depth) * n0;
+      table.add_row({analysis::Table::num(std::uint64_t{depth}),
+                     analysis::Table::num(z_by_depth[depth], 2),
+                     analysis::Table::num(bound, 2),
+                     analysis::Table::num(
+                         bound > 0 ? z_by_depth[depth] / bound : 0.0, 3),
+                     analysis::Table::num(cumulative, 1)});
+    }
+    std::cout << "\nfamily: " << gen::family_name(family) << "\n"
+              << table.render();
+    double total = 0.0;
+    for (double z : z_by_depth) total += z;
+    std::cout << "sum_k E[Z_k] = " << analysis::Table::num(total, 1)
+              << " (paper bound: 4n = " << 4 * kN
+              << "; this /n is the O(1) node-averaged awake constant)\n";
+  }
+  return 0;
+}

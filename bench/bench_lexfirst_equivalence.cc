@@ -1,0 +1,102 @@
+// E13 -- Corollary 1: Algorithm 1 (and Algorithm 2, and the CRT
+// distributed greedy) all compute the lexicographically-first MIS of
+// their respective random orders. We check the equivalence across many
+// seeds and families (must hold on 100% of runs) and report the MIS
+// sizes per engine for the same graph -- same-distribution orders give
+// statistically indistinguishable sizes.
+#include <iostream>
+
+#include "algos/greedy.h"
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "core/fast_sleeping_mis.h"
+#include "core/rank.h"
+#include "core/sleeping_mis.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+namespace {
+using namespace slumber;
+
+constexpr std::uint32_t kSeeds = 25;
+}  // namespace
+
+int main() {
+  std::cout << analysis::banner(
+      "E13 / Corollary 1: lexicographically-first equivalence, " +
+      std::to_string(kSeeds) + " seeds x families, n = 96");
+
+  analysis::Table table({"family", "Alg1 == lex-first", "Alg2 == lex-first",
+                         "CRT == lex-first", "mean |MIS| Alg1",
+                         "mean |MIS| CRT"});
+  for (const gen::Family family : gen::core_families()) {
+    std::uint32_t alg1_match = 0;
+    std::uint32_t alg2_match = 0;
+    std::uint32_t crt_match = 0;
+    std::vector<double> size1;
+    std::vector<double> size_crt;
+    for (std::uint32_t s = 0; s < kSeeds; ++s) {
+      const Graph g = gen::make(family, 96, 42 + s);
+      sim::NetworkOptions options;
+      options.max_message_bits = sim::congest_bits_for(g.num_vertices());
+
+      // Algorithm 1 vs sequential greedy on the traced coin bits.
+      core::RecursionTrace trace1;
+      auto run1 = sim::run_protocol(g, 11 + s,
+                                    core::sleeping_mis({}, &trace1), options);
+      const auto order1 =
+          core::greedy_order_from_bits(trace1.bits, trace1.levels);
+      const auto lex1 = core::lex_first_mis(g, order1);
+      bool match1 = true;
+      double count1 = 0;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        match1 = match1 && run1.outputs[v] == static_cast<std::int64_t>(lex1[v]);
+        count1 += run1.outputs[v] == 1;
+      }
+      alg1_match += match1;
+      size1.push_back(count1);
+
+      // Algorithm 2 vs sequential greedy on (bits, base ranks).
+      core::RecursionTrace trace2;
+      auto run2 = sim::run_protocol(
+          g, 11 + s, core::fast_sleeping_mis({}, &trace2), options);
+      const auto order2 = core::greedy_order_from_bits_and_base(
+          trace2.bits, trace2.levels, trace2.base_rank);
+      const auto lex2 = core::lex_first_mis(g, order2);
+      bool match2 = true;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        match2 = match2 && run2.outputs[v] == static_cast<std::int64_t>(lex2[v]);
+      }
+      alg2_match += match2;
+
+      // Distributed greedy vs sequential greedy on the same ranks.
+      std::vector<std::uint64_t> ranks;
+      algos::GreedyOptions gopts;
+      gopts.ranks_out = &ranks;
+      auto run3 = sim::run_protocol(
+          g, 11 + s, algos::distributed_greedy_mis(gopts), options);
+      const auto lex3 = algos::sequential_greedy_mis(g, ranks);
+      bool match3 = true;
+      double count3 = 0;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        match3 = match3 && run3.outputs[v] == static_cast<std::int64_t>(lex3[v]);
+        count3 += run3.outputs[v] == 1;
+      }
+      crt_match += match3;
+      size_crt.push_back(count3);
+    }
+    table.add_row({gen::family_name(family),
+                   std::to_string(alg1_match) + "/" + std::to_string(kSeeds),
+                   std::to_string(alg2_match) + "/" + std::to_string(kSeeds),
+                   std::to_string(crt_match) + "/" + std::to_string(kSeeds),
+                   analysis::Table::num(analysis::summarize(size1).mean, 1),
+                   analysis::Table::num(analysis::summarize(size_crt).mean, 1)});
+  }
+  std::cout << table.render();
+  std::cout << "\nPaper: Corollary 1 -- both sleeping algorithms produce "
+               "exactly the lexicographically-first MIS of their random "
+               "order (all cells must read " +
+                   std::to_string(kSeeds) + "/" + std::to_string(kSeeds) +
+                   ").\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E22 -- Message complexity across engines. The paper's energy argument
+// (Section 1.1) charges a node for every awake round, idle listening
+// included, but the number of transmissions is the other half of a
+// radio's budget. This bench reports total sent messages, delivered
+// messages, and messages dropped at sleeping receivers for every engine
+// across n -- quantifying the sleeping algorithms' communication bill
+// for their O(1) awake average.
+#include <iostream>
+
+#include "analysis/experiment.h"
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "graph/generators.h"
+
+namespace {
+using namespace slumber;
+using analysis::MisEngine;
+}  // namespace
+
+int main() {
+  std::cout << analysis::banner(
+      "E22 / message complexity on G(n, 8/n), 5 seeds: sent / delivered / "
+      "dropped-at-sleeper per node");
+
+  const std::uint32_t seeds = 5;
+  analysis::Table table({"n", "engine", "sent/node", "delivered/node",
+                         "dropped/node", "drop %"});
+
+  for (const VertexId n : {128u, 512u, 2048u}) {
+    for (const MisEngine engine : analysis::all_engines()) {
+      double sent = 0.0;
+      double delivered = 0.0;
+      double dropped = 0.0;
+      for (std::uint32_t s = 0; s < seeds; ++s) {
+        Rng rng(n * 11 + s);
+        const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
+        const auto run = analysis::run_mis(engine, g, n + 51 * s);
+        if (!run.valid) {
+          std::cerr << "INVALID " << analysis::engine_name(engine)
+                    << " at n=" << n << "\n";
+          return 1;
+        }
+        double run_sent = 0.0;
+        for (const auto& node : run.metrics.node) {
+          run_sent += static_cast<double>(node.messages_sent);
+        }
+        sent += run_sent / n;
+        delivered += static_cast<double>(run.metrics.total_messages) / n;
+        dropped += static_cast<double>(run.metrics.dropped_messages) / n;
+      }
+      const double drop_pct =
+          sent > 0.0 ? 100.0 * dropped / (seeds * (sent / seeds)) : 0.0;
+      table.add_row({analysis::Table::num(std::uint64_t{n}),
+                     analysis::engine_name(engine),
+                     analysis::Table::num(sent / seeds),
+                     analysis::Table::num(delivered / seeds),
+                     analysis::Table::num(dropped / seeds),
+                     analysis::Table::num(drop_pct, 1)});
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nShape check: sleeping engines send O(1) messages per node "
+               "(constant awake rounds bound their sends); traditional "
+               "engines send Theta(deg * log n). Drops only occur in the "
+               "sleeping algorithms (messages into sleeping neighbors are "
+               "part of the model, paper Section 1.2).\n";
+  return 0;
+}

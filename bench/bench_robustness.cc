@@ -1,0 +1,76 @@
+// E15 -- Failure injection: the model assumes reliable synchronous
+// links; real ad-hoc wireless (the paper's motivation) loses packets.
+// This bench measures the MIS validity rate of each engine as a
+// function of the per-message loss probability -- quantifying how much
+// the algorithms lean on reliable delivery, and that the sleeping
+// algorithms' fixed schedules at least preserve termination.
+#include <iostream>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "analysis/verify.h"
+#include "core/fast_sleeping_mis.h"
+#include "core/sleeping_mis.h"
+#include "algos/greedy.h"
+#include "algos/luby.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+namespace {
+using namespace slumber;
+
+constexpr VertexId kN = 96;
+constexpr std::uint32_t kSeeds = 40;
+
+double validity_rate(const sim::Protocol& protocol, double loss) {
+  std::uint32_t valid = 0;
+  for (std::uint32_t s = 0; s < kSeeds; ++s) {
+    Rng rng(10 + s);
+    const Graph g = gen::gnp_avg_degree(kN, 6.0, rng);
+    sim::NetworkOptions options;
+    options.message_loss_prob = loss;
+    sim::Network net(g, 50 + s, options);
+    net.run(protocol);
+    valid += analysis::check_mis(g, net.outputs()).ok() ? 1 : 0;
+  }
+  return static_cast<double>(valid) / kSeeds;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << analysis::banner(
+      "E15 / failure injection: MIS validity rate vs message loss, "
+      "G(" + std::to_string(kN) + ", 6/n), " + std::to_string(kSeeds) +
+      " seeds per cell");
+
+  struct NamedProtocol {
+    std::string name;
+    sim::Protocol protocol;
+  };
+  std::vector<NamedProtocol> engines;
+  engines.push_back({"SleepingMIS", core::sleeping_mis()});
+  engines.push_back({"Fast-SleepingMIS", core::fast_sleeping_mis()});
+  engines.push_back({"Luby-A", algos::luby_a()});
+  engines.push_back({"CRT-greedy", algos::distributed_greedy_mis()});
+
+  std::vector<std::string> header = {"loss prob"};
+  for (const auto& e : engines) header.push_back(e.name);
+  analysis::Table table(header);
+  for (const double loss : {0.0, 0.001, 0.01, 0.05, 0.1, 0.2}) {
+    std::vector<std::string> row = {analysis::Table::num(loss, 3)};
+    for (const auto& e : engines) {
+      row.push_back(analysis::Table::num(validity_rate(e.protocol, loss), 2));
+    }
+    table.add_row(row);
+  }
+  std::cout << table.render();
+  std::cout
+      << "\nReading: every engine needs reliable delivery for correctness\n"
+         "(loss = 0 column must be 1.00); under loss, validity decays for\n"
+         "all of them -- the sleeping model trades no extra robustness\n"
+         "away, but packet-level reliability (MAC-layer ARQ, as the\n"
+         "paper's cited 802.11 PSM machinery provides) is a real\n"
+         "prerequisite for deploying any of these algorithms.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E20 -- (k+1, k)-ruling sets via MIS on the graph power G^k (the
+// MIS relaxation of Pai et al., cited in the paper's Section 1).
+// Larger k buys a smaller ruling set (fewer, farther-apart rulers) at
+// the cost of denser power graphs. The sleeping engine keeps its O(1)
+// node-averaged awake complexity on every G^k; one G^k round costs up
+// to k G-rounds of relaying, which the table reports as the dilation.
+#include <iostream>
+
+#include "algos/ruling_set.h"
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "graph/transforms.h"
+
+namespace {
+using namespace slumber;
+using algos::MisEngine;
+}  // namespace
+
+int main() {
+  std::cout << analysis::banner(
+      "E20 / (k+1,k)-ruling sets on G(n, 8/n) via MIS on G^k, 5 seeds: "
+      "|S| shrinks with k; sleeping stays O(1) awake");
+
+  const std::uint32_t seeds = 5;
+  analysis::Table table({"n", "k", "engine", "|S|", "avg awake (G^k)",
+                         "power avg deg", "dilation", "valid"});
+
+  for (const VertexId n : {128u, 512u}) {
+    for (const std::uint32_t k : {1u, 2u, 3u}) {
+      for (const MisEngine engine :
+           {MisEngine::kGreedy, MisEngine::kSleeping}) {
+        double rulers_total = 0.0;
+        double awake_total = 0.0;
+        double deg_total = 0.0;
+        bool all_valid = true;
+        for (std::uint32_t s = 0; s < seeds; ++s) {
+          Rng rng(n * 13 + s);
+          const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
+          const auto result =
+              algos::ruling_set_via_mis(g, k, n + 97 * s, engine);
+          const auto check =
+              algos::check_ruling_set(g, result.rulers, k + 1, k);
+          all_valid = all_valid && check.ok();
+          rulers_total += static_cast<double>(result.rulers.size());
+          awake_total += result.power_graph_metrics.node_avg_awake();
+          const Graph pk = power(g, k);
+          deg_total += average_degree(pk);
+        }
+        if (!all_valid) {
+          std::cerr << "INVALID ruling set (n=" << n << " k=" << k << ")\n";
+          return 1;
+        }
+        table.add_row({analysis::Table::num(std::uint64_t{n}),
+                       analysis::Table::num(std::uint64_t{k}),
+                       analysis::engine_name(engine),
+                       analysis::Table::num(rulers_total / seeds, 1),
+                       analysis::Table::num(awake_total / seeds),
+                       analysis::Table::num(deg_total / seeds, 1),
+                       analysis::Table::num(std::uint64_t{k}), "yes"});
+      }
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nShape check: |S| decreases in k (independence radius "
+               "grows); the sleeping engine's awake column stays near its "
+               "O(1) plateau even as G^k densifies.\n";
+  return 0;
+}

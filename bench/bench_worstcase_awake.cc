@@ -1,0 +1,54 @@
+// E7 -- Lemma 9 / Lemma 15: worst-case awake complexity of both
+// sleeping algorithms is O(log n). Sweeps n, reports max_v awake(v)
+// and its ratio to log2(n), plus the distribution (p50/p95/max) of
+// per-node awake time showing most nodes are awake O(1) rounds.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/experiment.h"
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "graph/generators.h"
+
+namespace {
+using namespace slumber;
+using analysis::MisEngine;
+}  // namespace
+
+int main() {
+  std::cout << analysis::banner(
+      "E7 / worst-case awake complexity vs log n, G(n, 8/n), 5 seeds");
+
+  for (const MisEngine engine :
+       {MisEngine::kSleeping, MisEngine::kFastSleeping}) {
+    analysis::Table table({"n", "log2 n", "worst awake (mean)",
+                           "worst/log2(n)", "p50 awake", "p95 awake"});
+    for (const VertexId n : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+      double worst_total = 0.0;
+      std::vector<double> all_awake;
+      const std::uint32_t seeds = 5;
+      for (std::uint32_t s = 0; s < seeds; ++s) {
+        Rng rng(7 * n + s);
+        const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
+        const auto run = analysis::run_mis(engine, g, 13 * n + s);
+        worst_total += static_cast<double>(run.worst_awake);
+        for (const auto& m : run.metrics.node) {
+          all_awake.push_back(static_cast<double>(m.awake_rounds));
+        }
+      }
+      const double worst = worst_total / seeds;
+      const double log_n = std::log2(static_cast<double>(n));
+      table.add_row({analysis::Table::num(std::uint64_t{n}),
+                     analysis::Table::num(log_n, 1),
+                     analysis::Table::num(worst, 1),
+                     analysis::Table::num(worst / log_n, 2),
+                     analysis::Table::num(analysis::percentile(all_awake, 50), 1),
+                     analysis::Table::num(analysis::percentile(all_awake, 95), 1)});
+    }
+    std::cout << "\n" << analysis::engine_name(engine) << "\n" << table.render();
+  }
+  std::cout << "\nReading: worst/log2(n) stays bounded (O(log n), Lemmas "
+               "9/15) while the median node is awake only a handful of "
+               "rounds -- the O(1) average in action.\n";
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Network-lifetime scenario: a battery-powered sensor field re-elects a
+// backbone (an MIS) every epoch, and the fleet dies when the first
+// node's battery is exhausted (the standard network-lifetime metric).
+//
+//   $ ./duty_cycle
+//
+// The example runs one MIS election per epoch with Luby-A (traditional
+// model, Barenboim-Tzur terminate-on-decide), SleepingMIS (Algorithm 1)
+// and Fast-SleepingMIS (Algorithm 2), charging Feeney-Nilsson radio
+// power under three accountings:
+//
+//   * MARGINAL -- energy above the always-asleep ground state. This is
+//     the paper's accounting (sleeping is free, awake time costs).
+//   * TOTAL, WaveLAN sleep (43 mW) -- 1990s hardware, sleep draw is
+//     only ~20x below idle.
+//   * TOTAL, deep sleep (5 uW) -- a modern duty-cycled radio.
+//
+// Three honest findings fall out (also recorded in EXPERIMENTS.md):
+//   1. First-death is a WORST-CASE metric, and on a benign random field
+//      Luby-A's worst node decides within a few rounds -- the sleeping
+//      algorithms' O(1) guarantee is about the node AVERAGE over every
+//      topology, not an empirical win on easy instances.
+//   2. Algorithm 1's Theta(n^3) makespan is fatal under ANY nonzero
+//      sleep draw: its nodes sleep through millions of rounds per
+//      election. Theorem 2's polylog makespan is not cosmetic.
+//   3. With deep-sleep radios, Algorithm 2 recovers the paper's
+//      idealization: its total-energy lifetime matches its marginal
+//      lifetime.
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algos/luby.h"
+#include "analysis/verify.h"
+#include "core/fast_sleeping_mis.h"
+#include "core/sleeping_mis.h"
+#include "energy/energy.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+namespace {
+using namespace slumber;
+
+// Marginal accounting: a sleeping round is the ground state (0), an
+// awake round costs what it draws ABOVE sleeping.
+energy::EnergyModel marginal_model() {
+  energy::EnergyModel m;
+  m.idle_mw -= m.sleep_mw;
+  m.rx_mw -= m.sleep_mw;
+  m.tx_mw -= m.sleep_mw;
+  m.sleep_mw = 0.0;
+  return m;
+}
+
+energy::EnergyModel deep_sleep_model() {
+  energy::EnergyModel m;
+  m.sleep_mw = 0.005;  // ~5 uW deep sleep, modern duty-cycled radio
+  return m;
+}
+
+struct Strategy {
+  std::string name;
+  sim::Protocol protocol;
+};
+
+std::uint64_t epochs_until_first_death(const Strategy& strategy,
+                                       const energy::EnergyModel& model,
+                                       const Graph& g, double battery_mj,
+                                       std::uint64_t base_seed,
+                                       std::uint64_t epoch_cap) {
+  std::vector<double> remaining(g.num_vertices(), battery_mj);
+  for (std::uint64_t epoch = 0; epoch < epoch_cap; ++epoch) {
+    sim::NetworkOptions options;
+    options.max_message_bits = sim::congest_bits_for(g.num_vertices());
+    auto [metrics, outputs] =
+        sim::run_protocol(g, base_seed + epoch, strategy.protocol, options);
+    if (!analysis::check_mis(g, outputs).ok()) {
+      std::cerr << "invalid MIS in epoch " << epoch << "\n";
+      std::exit(1);
+    }
+    const auto report = energy::evaluate(model, metrics);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      remaining[v] -= report.per_node_mj[v];
+      if (remaining[v] <= 0.0) return epoch + 1;
+    }
+  }
+  return epoch_cap;  // cap reached: report "at least this many"
+}
+
+std::string fmt(std::uint64_t epochs, std::uint64_t cap) {
+  return (epochs >= cap ? ">=" : "") + std::to_string(epochs);
+}
+
+}  // namespace
+
+int main() {
+  // The sensor field: 256 nodes, unit-disk radio, ~10 neighbors each.
+  const std::uint64_t seed = 99;
+  Rng rng(seed);
+  const VertexId n = 256;
+  const double radius = std::sqrt(10.0 / (3.14159 * n)) * 1.8;
+  const Graph g = gen::random_geometric(n, radius, rng);
+  std::cout << "sensor field: " << g.summary() << "\n";
+
+  const double battery_mj = 200.0;  // per-node election budget
+  const std::uint64_t cap = 200;
+
+  std::vector<Strategy> strategies;
+  strategies.push_back({"Luby-A (terminate on decide)", algos::luby_a()});
+  strategies.push_back({"SleepingMIS   (Algorithm 1) ", core::sleeping_mis()});
+  strategies.push_back(
+      {"Fast-Sleeping (Algorithm 2) ", core::fast_sleeping_mis()});
+
+  std::cout << "\nepochs of MIS re-election until the first battery dies\n"
+               "(200 mJ / node, cap " << cap << " epochs):\n\n";
+  std::cout << "  strategy                        marginal  total@43mW  "
+               "total@5uW\n";
+  for (const auto& strategy : strategies) {
+    const auto marginal = epochs_until_first_death(
+        strategy, marginal_model(), g, battery_mj, 10'000, cap);
+    const auto wavelan = epochs_until_first_death(
+        strategy, energy::EnergyModel{}, g, battery_mj, 20'000, cap);
+    const auto deep = epochs_until_first_death(
+        strategy, deep_sleep_model(), g, battery_mj, 30'000, cap);
+    std::cout << "  " << strategy.name << "    " << std::left
+              << std::setw(10) << fmt(marginal, cap) << std::setw(12)
+              << fmt(wavelan, cap) << fmt(deep, cap) << "\n";
+  }
+
+  std::cout
+      << "\nReading:\n"
+         "  * marginal (the paper's accounting): first-death tracks the\n"
+         "    WORST node's awake rounds. On this benign field Luby-A's\n"
+         "    worst node decides in a handful of rounds, while Algorithm\n"
+         "    1 pays ~3 awake rounds on each of its ~3 log n recursion\n"
+         "    levels -- the paper's O(1) theorem is about the node\n"
+         "    average over adversarial topologies, not the maximum on\n"
+         "    easy ones.\n"
+         "  * total @ 43 mW (WaveLAN): Algorithm 1 sleeps through\n"
+         "    Theta(n^3) rounds per election and dies in one epoch;\n"
+         "    the makespan engineering of Theorem 2 is load-bearing.\n"
+         "  * total @ 5 uW (deep sleep): Algorithm 2's polylog makespan\n"
+         "    now costs microjoules and its lifetime returns to the\n"
+         "    marginal column; Algorithm 1's n^3 still does not.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// A self-contained scaling study: how do the four complexity measures
+// of the paper's Table 1 evolve with n for Algorithm 1, Algorithm 2,
+// and Luby's baseline, on a topology of the user's choice?
+//
+//   $ ./scaling_study [family] [max_n]
+//
+// where family is one of: gnp_sparse (default), cycle, star, grid,
+// lollipop, random_tree, barabasi_albert, unit_disk, ...
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "graph/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace slumber;
+
+  std::string family_name = argc > 1 ? argv[1] : "gnp_sparse";
+  const VertexId max_n =
+      argc > 2 ? static_cast<VertexId>(std::atoi(argv[2])) : 2048;
+
+  gen::Family family = gen::Family::kGnpSparse;
+  bool found = false;
+  for (const gen::Family f : gen::all_families()) {
+    if (gen::family_name(f) == family_name) {
+      family = f;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::cerr << "unknown family '" << family_name << "'; options:";
+    for (const gen::Family f : gen::all_families()) {
+      std::cerr << " " << gen::family_name(f);
+    }
+    std::cerr << "\n";
+    return 1;
+  }
+
+  std::cout << analysis::banner("scaling study on " + family_name);
+  const std::vector<analysis::MisEngine> engines = {
+      analysis::MisEngine::kSleeping, analysis::MisEngine::kFastSleeping,
+      analysis::MisEngine::kLubyA};
+
+  for (const auto engine : engines) {
+    analysis::Table table({"n", "node-avg awake", "worst awake",
+                           "worst rounds", "messages"});
+    std::vector<double> ns;
+    std::vector<double> awake;
+    for (VertexId n = 64; n <= max_n; n *= 4) {
+      const auto agg = analysis::aggregate_mis(
+          engine,
+          [&](std::uint64_t seed) { return gen::make(family, n, seed); },
+          1000 + n, 3);
+      if (agg.invalid_runs > 0) {
+        std::cerr << "invalid runs at n=" << n << "\n";
+        return 1;
+      }
+      ns.push_back(n);
+      awake.push_back(agg.node_avg_awake_mean);
+      table.add_row({analysis::Table::num(std::uint64_t{n}),
+                     analysis::Table::num(agg.node_avg_awake_mean),
+                     analysis::Table::num(agg.worst_awake_mean, 1),
+                     analysis::Table::num(agg.worst_rounds_mean, 0),
+                     analysis::Table::num(agg.messages_mean, 0)});
+    }
+    const auto fit = analysis::log_fit(ns, awake);
+    std::cout << "\n" << analysis::engine_name(engine) << " (awake-avg slope vs log2 n: "
+              << analysis::Table::num(fit.slope, 3) << ")\n"
+              << table.render();
+  }
+  std::cout << "\nSleeping engines: flat awake average (slope ~0). Luby: "
+               "slope > 0 -- nodes stay awake for the full Theta(log n) "
+               "run.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Sensor-network cluster-head election -- the paper's motivating
+// scenario (Section 1.1).
+//
+// A unit-disk graph of battery-powered sensors elects cluster heads (an
+// MIS: every sensor is a head or adjacent to one, no two heads are
+// neighbors). We run Fast-SleepingMIS and Luby's algorithm on the same
+// deployment and compare the radio energy bill under the
+// Feeney-Nilsson power model -- idle listening is nearly as expensive
+// as receiving, sleeping is ~20x cheaper, which is exactly the gap the
+// sleeping model exploits.
+#include <iostream>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "analysis/verify.h"
+#include "energy/energy.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+
+int main() {
+  using namespace slumber;
+
+  // Deploy 500 sensors uniformly in the unit square; radio range set
+  // for average ~12 neighbors (a dense deployment).
+  const std::uint64_t seed = 7;
+  Rng rng(seed);
+  std::vector<std::pair<double, double>> coords;
+  const Graph g = gen::random_geometric(500, 0.0874, rng, &coords);
+  std::cout << "deployment: " << g.summary()
+            << ", components: " << connected_components(g).count << "\n";
+
+  analysis::Table table({"algorithm", "cluster heads", "mean awake rounds",
+                         "max awake rounds", "wall-clock rounds",
+                         "mean energy (mJ, sleep=0)",
+                         "max energy (mJ, sleep=0)"});
+  const energy::EnergyModel model = energy::EnergyModel::idealized();
+
+  for (const auto engine :
+       {analysis::MisEngine::kFastSleeping, analysis::MisEngine::kLubyA,
+        analysis::MisEngine::kGreedy}) {
+    const auto run = analysis::run_mis(engine, g, seed);
+    if (!run.valid) {
+      std::cerr << "invalid MIS from " << analysis::engine_name(engine) << "\n";
+      return 1;
+    }
+    const auto report = energy::evaluate(model, run.metrics);
+    table.add_row({analysis::engine_name(engine),
+                   analysis::Table::num(run.mis_size),
+                   analysis::Table::num(run.node_avg_awake),
+                   analysis::Table::num(run.worst_awake),
+                   analysis::Table::num(run.worst_rounds),
+                   analysis::Table::num(report.mean_mj, 3),
+                   analysis::Table::num(report.max_mj, 3)});
+  }
+  std::cout << table.render();
+
+  std::cout
+      << "\nReading the numbers honestly: on benign unit-disk topologies\n"
+         "the baselines' *empirical* awake averages are small too (most\n"
+         "nodes decide in a few rounds). What the sleeping algorithm buys\n"
+         "is the guarantee: its O(1) awake average is proven for every\n"
+         "topology and does not degrade with n (paper Theorem 2), whereas\n"
+         "the best known bound for the baselines is O(log n) -- and their\n"
+         "worst-case awake time (the battery bill of the unluckiest\n"
+         "sensor) tracks their full round complexity. Compare the 'max\n"
+         "awake rounds' column as n grows in bench_awake_scaling.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// MIS in the beeping model (Afek et al., Distributed Computing 2013).
+//
+// The paper's Section 1.5 singles out beeping as the other
+// restricted-communication model studied for MIS and calls sleeping
+// "orthogonal to beeping". This module supplies the beeping side of
+// that comparison: nodes communicate only by 1-bit carrier pulses
+// ("beeps"); a listener learns whether AT LEAST ONE neighbor beeped in
+// a slot, nothing more, and a beeping node hears nothing in the slot
+// it beeps (no sender-side collision detection).
+//
+// The algorithm is the bitwise-elimination tournament variant:
+//
+//   Each phase, every undecided node becomes a CANDIDATE with
+//   probability 1/2 and draws a composite rank -- random high bits
+//   (symmetry breaking) with its id appended (so ranks of neighbors are
+//   always distinct). The rank is then auctioned off bit by bit, most
+//   significant first, one slot per bit: a candidate still in
+//   contention beeps iff its current bit is 1; a contending candidate
+//   with bit 0 that hears a beep drops out. For any two adjacent
+//   candidates, at the first differing bit the one holding 0 hears the
+//   other's beep (if that other is still contending) -- so at most one
+//   of any adjacent pair survives, and survivors form an independent
+//   set. In the final slot of the phase survivors beep "I join";
+//   every node that hears the join beep is dominated and exits with
+//   output 0. Undecided nodes proceed to the next phase. An isolated
+//   still-active node survives the first phase in which it turns
+//   candidate (it never hears any beep), so no special isolation
+//   handling is needed.
+//
+// Faithfulness to the model: payloads are never read -- only the
+// presence of kBeep messages -- and a beeping node discards its inbox
+// for that slot. All undecided nodes stay awake every slot (the beeping
+// model has no sleeping), which is exactly why its node-averaged AWAKE
+// complexity is Theta(log^2 n)-ish while SleepingMIS achieves O(1);
+// bench_beeping_contrast measures that gap.
+#pragma once
+
+#include "sim/network.h"
+
+namespace slumber::algos {
+
+struct BeepingMisOptions {
+  /// Safety cap on phases (0 = 64 + 8*log2 n).
+  std::uint64_t max_phases = 0;
+  /// Candidate probability per phase (1/2 in the classic analysis).
+  double candidate_prob = 0.5;
+};
+
+/// Beeping-model MIS protocol. Output: 1 in MIS, 0 dominated.
+sim::Protocol beeping_mis(BeepingMisOptions options = {});
+
+}  // namespace slumber::algos

@@ -1,0 +1,48 @@
+#include "algos/deterministic.h"
+
+#include "algos/common.h"
+
+namespace slumber::algos {
+namespace {
+
+sim::Task deterministic_node(sim::Context& ctx,
+                             DeterministicGreedyOptions options) {
+  const std::uint64_t cap = options.max_iterations != 0
+                                ? options.max_iterations
+                                : 4 + ctx.n();
+  for (std::uint64_t iteration = 0; iteration < cap; ++iteration) {
+    // Round 1: presence probe. The sender's ID rides on the envelope
+    // (Received::from), so an empty Hello suffices.
+    sim::Inbox inbox = co_await ctx.broadcast(sim::Message::hello());
+    bool win = true;
+    for (const sim::Received& r : inbox) {
+      if (r.msg.kind == sim::MsgKind::kHello && r.from > ctx.id()) {
+        win = false;
+        break;
+      }
+    }
+    // Round 2: local ID maxima join and announce; dominated nodes exit.
+    if (win) {
+      co_await ctx.broadcast(sim::Message::in_mis());
+      ctx.decide(1);
+      co_return;
+    }
+    sim::Inbox announcements = co_await ctx.listen();
+    for (const sim::Received& r : announcements) {
+      if (r.msg.kind == sim::MsgKind::kInMis) {
+        ctx.decide(0);
+        co_return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+sim::Protocol deterministic_greedy_mis(DeterministicGreedyOptions options) {
+  return [options](sim::Context& ctx) {
+    return deterministic_node(ctx, options);
+  };
+}
+
+}  // namespace slumber::algos

@@ -1,0 +1,30 @@
+// Deterministic greedy-by-ID MIS.
+//
+// The simplest deterministic distributed MIS: every iteration, an
+// active node whose ID is larger than all active neighbors' joins the
+// MIS and announces; dominated neighbors leave. This computes the
+// lexicographically-first MIS by descending ID, deterministically, in
+// O(n) worst-case rounds (an ID-sorted path is the worst case: one
+// decision frontier sweeps the path).
+//
+// It is included as the contrast the paper's randomization needs:
+// Table 1's baselines are all randomized because deterministic MIS in
+// o(n) general-graph rounds requires heavyweight machinery
+// (Panconesi-Srinivasan / Rozhon-Ghaffari network decomposition, cited
+// in the paper's Section 1). bench_deterministic_contrast shows the
+// Theta(n) blowup on adversarial paths and that even its *node-average*
+// is Theta(n) there -- randomization, or sleeping, is what kills it.
+#pragma once
+
+#include "sim/network.h"
+
+namespace slumber::algos {
+
+struct DeterministicGreedyOptions {
+  /// Safety cap on iterations (0 = 4 + n, enough for any chain).
+  std::uint64_t max_iterations = 0;
+};
+
+sim::Protocol deterministic_greedy_mis(DeterministicGreedyOptions options = {});
+
+}  // namespace slumber::algos

@@ -1,0 +1,53 @@
+#include "algos/edge_coloring.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "algos/luby_coloring.h"
+
+namespace slumber::algos {
+
+EdgeColoringResult edge_coloring_via_line_graph(const Graph& g,
+                                                std::uint64_t seed) {
+  const Graph line = g.line_graph();
+  sim::NetworkOptions options;
+  options.max_message_bits = sim::congest_bits_for(
+      std::max<std::uint64_t>(line.num_vertices(), 2));
+  auto [metrics, outputs] =
+      sim::run_protocol(line, seed, luby_coloring(), options);
+
+  EdgeColoringResult result;
+  result.colors = std::move(outputs);
+  result.line_graph_metrics = std::move(metrics);
+  std::unordered_set<std::int64_t> distinct;
+  for (std::int64_t c : result.colors) {
+    if (c >= 0) distinct.insert(c);
+  }
+  result.colors_used = distinct.size();
+  return result;
+}
+
+bool check_edge_coloring(const Graph& g,
+                         const std::vector<std::int64_t>& colors) {
+  if (colors.size() != g.num_edges()) return false;
+  const std::int64_t palette =
+      std::max<std::int64_t>(2 * static_cast<std::int64_t>(g.max_degree()) - 1,
+                             1);
+  for (std::int64_t c : colors) {
+    if (c < 0 || c >= palette) return false;
+  }
+  // Adjacent edges (sharing an endpoint) must differ. Scan per vertex.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::unordered_set<std::int64_t> seen;
+    for (VertexId u : g.neighbors(v)) {
+      const Edge e = u < v ? Edge{u, v} : Edge{v, u};
+      const auto& edges = g.edges();
+      const auto it = std::lower_bound(edges.begin(), edges.end(), e);
+      const auto eid = static_cast<EdgeId>(it - edges.begin());
+      if (!seen.insert(colors[eid]).second) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace slumber::algos

@@ -1,0 +1,42 @@
+// (2*Delta - 1)-edge-coloring via vertex coloring of the line graph.
+//
+// Barenboim-Tzur (the paper's closest related work, Section 1.5) study
+// MIS, maximal matching and (2*Delta-1)-edge-coloring as one family
+// under node-averaged complexity. This module closes that family for
+// slumber: an edge of G is a vertex of L(G) with degree at most
+// 2*Delta(G) - 2, so Luby's (deg+1)-coloring of L(G) uses colors in
+// [0, 2*Delta - 1) -- a proper (2*Delta-1)-edge-coloring of G.
+//
+// A proper edge coloring is a TDMA schedule: edges of one color can
+// transmit in the same slot without their endpoints' radios clashing
+// (see examples/tdma_scheduling.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/network.h"
+
+namespace slumber::algos {
+
+struct EdgeColoringResult {
+  /// color[e] for each edge id of g, in [0, 2*Delta(g) - 1).
+  std::vector<std::int64_t> colors;
+  /// Number of distinct colors used.
+  std::uint64_t colors_used = 0;
+  /// Metrics of the coloring run on the line graph.
+  sim::Metrics line_graph_metrics;
+};
+
+/// Runs Luby (deg+1)-coloring on L(g) and maps colors back to edges.
+EdgeColoringResult edge_coloring_via_line_graph(const Graph& g,
+                                                std::uint64_t seed);
+
+/// True iff `colors` is a proper edge coloring of g (adjacent edges get
+/// distinct colors, every edge colored) using at most
+/// max(2*Delta - 1, 1) colors.
+bool check_edge_coloring(const Graph& g,
+                         const std::vector<std::int64_t>& colors);
+
+}  // namespace slumber::algos

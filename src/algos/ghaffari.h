@@ -1,0 +1,26 @@
+// Ghaffari's MIS algorithm (SODA'16), the strongest traditional-model
+// baseline the paper discusses (Section 1.3): it is "node centric" --
+// each node v finishes within O(log deg(v) + log 1/eps) rounds with
+// probability >= 1 - eps -- yet its node-averaged complexity is still
+// Theta(log n) on graphs where most nodes have polynomial degree, which
+// is exactly the gap the sleeping model closes.
+//
+// Per iteration (3 rounds): nodes exchange desire levels p_v, compute
+// effective degree d_v = sum of neighbor desire levels, mark themselves
+// w.p. p_v, winners (marked with no marked neighbor) join and announce;
+// desire levels halve when d_v >= 2 and double (capped at 1/2)
+// otherwise.
+#pragma once
+
+#include "sim/network.h"
+
+namespace slumber::algos {
+
+struct GhaffariOptions {
+  /// Safety cap on iterations (0 = 64 + 8*log2 n).
+  std::uint64_t max_iterations = 0;
+};
+
+sim::Protocol ghaffari_mis(GhaffariOptions options = {});
+
+}  // namespace slumber::algos

@@ -1,0 +1,37 @@
+// The parallel/distributed randomized greedy MIS algorithm
+// (Coppersmith-Raghavan-Tompa'89, Blelloch-Fineman-Shun'12,
+// Fischer-Noever'18) -- the "CRT" baseline of the paper's Table 1 and
+// the base-case subroutine of Algorithm 2.
+//
+// A single random rank per node is drawn once. Each 2-round iteration,
+// every active node whose (rank, id) beats all active neighbors joins
+// the MIS and announces; receivers of an announcement are eliminated.
+// Runs until decided (O(log n) iterations w.h.p., Fischer-Noever).
+// Always outputs the lexicographically-first MIS w.r.t. decreasing
+// (rank, id) -- the property behind the paper's Corollary 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/network.h"
+
+namespace slumber::algos {
+
+struct GreedyOptions {
+  /// Safety cap on iterations (0 = 64 + 8*log2 n).
+  std::uint64_t max_iterations = 0;
+  /// If non-null (size n), collects each node's drawn rank.
+  std::vector<std::uint64_t>* ranks_out = nullptr;
+};
+
+/// Distributed randomized greedy MIS protocol.
+sim::Protocol distributed_greedy_mis(GreedyOptions options = {});
+
+/// Sequential reference: greedy MIS processing vertices by decreasing
+/// (rank, id). Equals the distributed output on the same ranks.
+std::vector<std::uint8_t> sequential_greedy_mis(
+    const Graph& g, const std::vector<std::uint64_t>& ranks);
+
+}  // namespace slumber::algos

@@ -1,0 +1,44 @@
+// Distributed randomized greedy (lexicographically-first) coloring.
+//
+// The coloring analogue of the CRT greedy MIS (paper Section 4.4's base
+// case): every node draws one random rank up front; a node colors
+// itself with the smallest color unused by its already-colored
+// neighbors as soon as every higher-(rank, id) neighbor has committed.
+// This simulates the sequential greedy coloring along the random order
+// -- O(log n) rounds w.h.p. by the dependency-chain argument of
+// Fischer-Noever (the longest decreasing rank path is O(log n)) -- and
+// always reproduces the sequential result, the same
+// lexicographically-first property behind the paper's Corollary 1.
+//
+// It complements Luby's coloring (algos/luby_coloring.h): Luby re-draws
+// tentative colors each iteration and finishes a constant fraction of
+// nodes per round (the O(1) node-averaged contrast of Section 1.5);
+// greedy coloring commits each node exactly once and uses at most
+// degeneracy-adaptive colors along the random order. bench E10 compares
+// both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/network.h"
+
+namespace slumber::algos {
+
+struct GreedyColoringOptions {
+  /// Safety cap on rounds (0 = 64 + 8*log2 n iterations of 2 rounds).
+  std::uint64_t max_iterations = 0;
+  /// If non-null (size n), collects each node's drawn rank.
+  std::vector<std::uint64_t>* ranks_out = nullptr;
+};
+
+/// Output: the node's color in [0, deg(v) + 1).
+sim::Protocol greedy_coloring(GreedyColoringOptions options = {});
+
+/// Reference: sequential greedy coloring along `order` (first node in
+/// `order` is colored first). Used to verify the lex-first property.
+std::vector<std::int64_t> sequential_greedy_coloring(
+    const Graph& g, const std::vector<VertexId>& order);
+
+}  // namespace slumber::algos

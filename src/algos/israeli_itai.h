@@ -1,0 +1,44 @@
+// Direct distributed maximal matching (Israeli-Itai'86 style
+// propose-accept), the native counterpart to the line-graph reduction
+// of algos/matching.h.
+//
+// Each iteration (3 rounds): every active unmatched node with an active
+// neighbor PROPOSES to one uniformly random active neighbor; a node
+// that receives proposals ACCEPTS exactly one (the lowest port, a
+// deterministic tie-break); a proposal meeting its acceptance forms a
+// matched edge, and both endpoints ANNOUNCE and terminate. Nodes whose
+// active neighborhood empties terminate unmatched. A constant fraction
+// of edges disappears per iteration in expectation, giving O(log n)
+// rounds w.h.p. -- same ballpark as running an MIS baseline on L(G)
+// but without materializing the line graph, and with per-port CONGEST
+// messages of O(1) bits.
+//
+// Output per node: the partner's vertex id, or -1 if unmatched.
+// `matching_from_outputs` converts the output vector to edge ids and
+// checks mutual consistency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/network.h"
+
+namespace slumber::algos {
+
+struct IsraeliItaiOptions {
+  /// Safety cap on iterations (0 = 64 + 8*log2 n).
+  std::uint64_t max_iterations = 0;
+};
+
+/// Output: partner vertex id, or -1 for unmatched.
+sim::Protocol israeli_itai_matching(IsraeliItaiOptions options = {});
+
+/// Translates partner outputs into edge ids of g. Returns nullopt if
+/// the outputs are inconsistent (u claims v but not vice versa, or a
+/// claimed edge does not exist).
+std::optional<std::vector<EdgeId>> matching_from_outputs(
+    const Graph& g, const std::vector<std::int64_t>& outputs);
+
+}  // namespace slumber::algos

@@ -1,0 +1,36 @@
+// Flood-max leader election with decision-instant accounting.
+//
+// Feuilloley (the paper's Section 1.5) introduced node-averaged
+// complexity via leader election: on cycles it can be solved with
+// O(log n) node-averaged complexity even though the worst case is
+// Omega(n). This module provides the classic flood-max baseline so the
+// bench can measure the gap between the *decision* instants (a node
+// that sees a value beating its own knows immediately it lost -- the
+// Feuilloley notion counts it as done) and the worst-case Theta(D)
+// rounds the eventual leader needs.
+//
+// Protocol: each node draws a random priority (ties broken by id) and
+// floods the maximum it has seen for `diameter_bound` rounds. A node
+// decides "not leader" (output 0) the first round it learns of a
+// higher priority; the surviving node decides "leader" (output 1) when
+// the flood completes. On a connected graph exactly one node elects
+// itself, deterministically given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.h"
+
+namespace slumber::algos {
+
+struct LeaderElectionOptions {
+  /// Number of flooding rounds; must be >= diameter(g) for correctness.
+  /// 0 means the safe default n - 1.
+  std::uint64_t diameter_bound = 0;
+};
+
+/// Output: 1 for the elected leader, 0 for everyone else. Requires a
+/// connected graph for a unique leader (per component otherwise).
+sim::Protocol flood_max_leader_election(LeaderElectionOptions options = {});
+
+}  // namespace slumber::algos

@@ -1,0 +1,34 @@
+// Luby's randomized MIS algorithms (the paper's Table-1 baselines).
+//
+// Both run in the traditional model: a node is awake every round until
+// its status is decided, at which point it announces and terminates
+// (the Barenboim-Tzur termination convention the paper adopts, Section
+// 1.5). Expected O(log n) rounds; the paper's point is that their
+// node-AVERAGED complexity is also Theta(log n), unlike SleepingMIS.
+//
+//   Luby-A ("permutation" variant, Luby'86 / Alon-Babai-Itai'86): every
+//   iteration each active node draws a fresh random priority; strict
+//   local maxima (ties broken by id) join the MIS.
+//
+//   Luby-B ("marking" variant): each active node marks itself with
+//   probability 1/(2d), where d is its current active degree; a marked
+//   node unmarks if a marked neighbor has (degree, id) priority over it;
+//   surviving marked nodes join.
+#pragma once
+
+#include "sim/network.h"
+
+namespace slumber::algos {
+
+struct LubyOptions {
+  /// Safety cap on iterations (0 = 64 + 8*log2 n).
+  std::uint64_t max_iterations = 0;
+};
+
+/// Luby-A: fresh random priorities each iteration; 2 rounds/iteration.
+sim::Protocol luby_a(LubyOptions options = {});
+
+/// Luby-B: degree-based marking; 3 rounds/iteration.
+sim::Protocol luby_b(LubyOptions options = {});
+
+}  // namespace slumber::algos

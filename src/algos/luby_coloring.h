@@ -1,0 +1,29 @@
+// Luby's randomized (Delta+1)-coloring.
+//
+// The paper (Sections 1.5, 2) contrasts MIS with coloring: Luby's
+// coloring finishes a constant fraction of nodes per iteration, so its
+// node-averaged round complexity is O(1) *even in the traditional
+// model*, while no such bound is known for MIS. Bench E10 reproduces
+// that contrast.
+//
+// Per iteration (2 rounds): each active node draws a tentative color
+// uniformly from its remaining palette (of initial size deg(v)+1);
+// round 1 exchanges tentative colors -- a node keeps its color if no
+// active neighbor picked the same one; round 2 lets finished nodes
+// announce their final color (neighbors strike it from their palettes)
+// and terminate.
+#pragma once
+
+#include "sim/network.h"
+
+namespace slumber::algos {
+
+struct ColoringOptions {
+  /// Safety cap on iterations (0 = 64 + 8*log2 n).
+  std::uint64_t max_iterations = 0;
+};
+
+/// Output: the node's color in [0, deg(v)+1).
+sim::Protocol luby_coloring(ColoringOptions options = {});
+
+}  // namespace slumber::algos

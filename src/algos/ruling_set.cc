@@ -1,0 +1,90 @@
+#include "algos/ruling_set.h"
+
+#include <queue>
+#include <stdexcept>
+
+#include "graph/transforms.h"
+
+namespace slumber::algos {
+
+RulingSetResult ruling_set_via_mis(const Graph& g, std::uint32_t k,
+                                   std::uint64_t seed, MisEngine engine) {
+  if (k < 1) throw std::invalid_argument("ruling_set_via_mis: k must be >= 1");
+  const Graph powered = power(g, k);
+  sim::NetworkOptions options;
+  options.max_message_bits =
+      sim::congest_bits_for(std::max<std::uint64_t>(powered.num_vertices(), 2));
+  auto [metrics, outputs] =
+      sim::run_protocol(powered, seed, mis_protocol(engine), options);
+  RulingSetResult result;
+  result.power_graph_metrics = std::move(metrics);
+  for (VertexId v = 0; v < outputs.size(); ++v) {
+    if (outputs[v] == 1) result.rulers.push_back(v);
+  }
+  return result;
+}
+
+RulingSetCheck check_ruling_set(const Graph& g,
+                                const std::vector<VertexId>& rulers,
+                                std::uint32_t alpha, std::uint32_t beta) {
+  const VertexId n = g.num_vertices();
+  RulingSetCheck check;
+
+  // Multi-source BFS from all rulers: dist[v] = distance to nearest ruler.
+  std::vector<std::int64_t> dist(n, -1);
+  std::queue<VertexId> queue;
+  for (VertexId r : rulers) {
+    dist[r] = 0;
+    queue.push(r);
+  }
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop();
+    for (VertexId u : g.neighbors(v)) {
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        queue.push(u);
+      }
+    }
+  }
+  check.dominating = true;
+  for (VertexId v = 0; v < n; ++v) {
+    if (dist[v] < 0 || dist[v] > static_cast<std::int64_t>(beta)) {
+      check.dominating = false;
+      break;
+    }
+  }
+
+  // Pairwise distance >= alpha: BFS to depth alpha-1 from each ruler must
+  // reach no other ruler.
+  std::vector<std::uint8_t> is_ruler(n, 0);
+  for (VertexId r : rulers) is_ruler[r] = 1;
+  check.independent = true;
+  std::vector<std::int64_t> local(n, -1);
+  for (VertexId r : rulers) {
+    if (!check.independent) break;
+    std::queue<VertexId> bfs;
+    std::vector<VertexId> touched;
+    local[r] = 0;
+    touched.push_back(r);
+    bfs.push(r);
+    while (!bfs.empty()) {
+      const VertexId v = bfs.front();
+      bfs.pop();
+      if (local[v] >= static_cast<std::int64_t>(alpha) - 1) continue;
+      for (VertexId u : g.neighbors(v)) {
+        if (local[u] >= 0) continue;
+        local[u] = local[v] + 1;
+        touched.push_back(u);
+        bfs.push(u);
+        if (is_ruler[u]) {
+          check.independent = false;
+        }
+      }
+    }
+    for (VertexId v : touched) local[v] = -1;
+  }
+  return check;
+}
+
+}  // namespace slumber::algos

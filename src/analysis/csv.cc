@@ -1,0 +1,62 @@
+#include "analysis/csv.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace slumber::analysis {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : out_(path), arity_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  if (row.size() != arity_) {
+    throw std::invalid_argument("CsvWriter: arity mismatch");
+  }
+  write_row(row);
+  ++rows_;
+}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (double value : row) {
+    std::ostringstream s;
+    s << value;
+    fields.push_back(s.str());
+  }
+  add_row(fields);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(row[i]);
+  }
+  out_ << '\n';
+}
+
+std::optional<std::string> csv_path_from_env(const std::string& name) {
+  const char* dir = std::getenv("SLUMBER_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string(dir) + "/" + name + ".csv";
+}
+
+}  // namespace slumber::analysis

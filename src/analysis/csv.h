@@ -1,0 +1,41 @@
+// Tiny CSV writer used by the bench harness so every table and figure
+// series can also be dumped for external plotting (set SLUMBER_CSV_DIR
+// to a directory before running a bench).
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slumber::analysis {
+
+class CsvWriter {
+ public:
+  /// Opens `path` and writes the header row. Throws on I/O failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends a data row (must match header arity; throws otherwise).
+  void add_row(const std::vector<std::string>& row);
+
+  /// Convenience for numeric rows.
+  void add_row(const std::vector<double>& row);
+
+  std::size_t rows_written() const { return rows_; }
+
+  /// Escapes a field per RFC 4180 (quotes fields containing , " or \n).
+  static std::string escape(const std::string& field);
+
+ private:
+  void write_row(const std::vector<std::string>& row);
+
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+/// If the SLUMBER_CSV_DIR environment variable is set, returns
+/// "<dir>/<name>.csv"; otherwise nullopt (benches skip CSV emission).
+std::optional<std::string> csv_path_from_env(const std::string& name);
+
+}  // namespace slumber::analysis

@@ -1,0 +1,101 @@
+#include "analysis/experiment.h"
+
+#include <stdexcept>
+
+#include "algos/ghaffari.h"
+#include "algos/greedy.h"
+#include "algos/luby.h"
+#include "analysis/verify.h"
+#include "core/fast_sleeping_mis.h"
+#include "core/sleeping_mis.h"
+#include "sim/network.h"
+
+namespace slumber::analysis {
+
+std::vector<MisEngine> all_engines() {
+  return {MisEngine::kLubyA,    MisEngine::kLubyB,
+          MisEngine::kGreedy,   MisEngine::kGhaffari,
+          MisEngine::kSleeping, MisEngine::kFastSleeping};
+}
+
+std::string engine_name(MisEngine engine) {
+  switch (engine) {
+    case MisEngine::kSleeping: return "SleepingMIS";
+    case MisEngine::kFastSleeping: return "Fast-SleepingMIS";
+    case MisEngine::kLubyA: return "Luby-A";
+    case MisEngine::kLubyB: return "Luby-B";
+    case MisEngine::kGreedy: return "CRT-greedy";
+    case MisEngine::kGhaffari: return "Ghaffari";
+  }
+  return "unknown";
+}
+
+bool engine_uses_sleeping(MisEngine engine) {
+  return engine == MisEngine::kSleeping || engine == MisEngine::kFastSleeping;
+}
+
+bool engine_from_name(const std::string& name, MisEngine* out) {
+  for (const MisEngine engine : all_engines()) {
+    if (name == engine_name(engine)) {
+      *out = engine;
+      return true;
+    }
+  }
+  if (name == "sleeping") *out = MisEngine::kSleeping;
+  else if (name == "fast") *out = MisEngine::kFastSleeping;
+  else if (name == "luby-a") *out = MisEngine::kLubyA;
+  else if (name == "luby-b") *out = MisEngine::kLubyB;
+  else if (name == "greedy") *out = MisEngine::kGreedy;
+  else if (name == "ghaffari") *out = MisEngine::kGhaffari;
+  else return false;
+  return true;
+}
+
+MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
+               core::RecursionTrace* trace) {
+  sim::Protocol protocol;
+  switch (engine) {
+    case MisEngine::kSleeping:
+      protocol = core::sleeping_mis({}, trace);
+      break;
+    case MisEngine::kFastSleeping:
+      protocol = core::fast_sleeping_mis({}, trace);
+      break;
+    case MisEngine::kLubyA:
+      protocol = algos::luby_a();
+      break;
+    case MisEngine::kLubyB:
+      protocol = algos::luby_b();
+      break;
+    case MisEngine::kGreedy:
+      protocol = algos::distributed_greedy_mis();
+      break;
+    case MisEngine::kGhaffari:
+      protocol = algos::ghaffari_mis();
+      break;
+    default:
+      throw std::invalid_argument("run_mis: unknown engine");
+  }
+
+  sim::NetworkOptions options;
+  options.max_message_bits = sim::congest_bits_for(g.num_vertices());
+  auto [metrics, outputs] = sim::run_protocol(g, seed, protocol, options);
+
+  MisRun run;
+  run.engine = engine;
+  run.seed = seed;
+  run.valid = check_mis(g, outputs).ok();
+  run.node_avg_awake = metrics.node_avg_awake();
+  run.worst_awake = metrics.worst_awake();
+  run.node_avg_rounds = metrics.node_avg_finish();
+  run.worst_rounds = metrics.worst_finish();
+  run.total_messages = metrics.total_messages;
+  for (std::int64_t out : outputs) {
+    if (out == 1) ++run.mis_size;
+  }
+  run.metrics = std::move(metrics);
+  run.outputs = std::move(outputs);
+  return run;
+}
+
+}  // namespace slumber::analysis

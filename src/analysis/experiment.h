@@ -1,0 +1,72 @@
+// The shared experiment runner: one entry point that runs any MIS
+// engine on any graph with a seed, verifies the output, and returns the
+// paper's four complexity measures. All benches and integration tests
+// go through this so results are comparable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algos/matching.h"  // MisEngine
+#include "core/instrumentation.h"
+#include "graph/graph.h"
+#include "sim/metrics.h"
+
+namespace slumber::analysis {
+
+using algos::MisEngine;
+
+/// All MIS engines in Table-1 order: baselines first, then the paper's.
+std::vector<MisEngine> all_engines();
+std::string engine_name(MisEngine engine);
+bool engine_uses_sleeping(MisEngine engine);
+
+/// Parses "sleeping", "fast", "luby-a", "luby-b", "greedy", "ghaffari"
+/// (case-sensitive, also accepts the display names); returns false on
+/// unknown input.
+bool engine_from_name(const std::string& name, MisEngine* out);
+
+/// One run's results: the four measures of the paper's Table 1 plus
+/// bookkeeping.
+struct MisRun {
+  MisEngine engine{};
+  std::uint64_t seed = 0;
+  bool valid = false;               // verifier outcome
+  double node_avg_awake = 0.0;      // sleeping-model awake average
+  std::uint64_t worst_awake = 0;    // max_v awake rounds
+  double node_avg_rounds = 0.0;     // mean finish round (awake+sleep)
+  std::uint64_t worst_rounds = 0;   // makespan
+  std::uint64_t mis_size = 0;
+  std::uint64_t total_messages = 0;
+  sim::Metrics metrics;             // full per-node data
+  std::vector<std::int64_t> outputs;
+};
+
+/// Runs `engine` on `g`; enforces the CONGEST budget; verifies the MIS.
+/// If `trace` is non-null and the engine is one of the sleeping
+/// algorithms, the recursion trace is collected.
+MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
+               core::RecursionTrace* trace = nullptr);
+
+/// Seed-averaged measures for one (engine, graph-generator) cell.
+struct AggregateRun {
+  double node_avg_awake_mean = 0.0;
+  double node_avg_awake_ci95 = 0.0;
+  double worst_awake_mean = 0.0;
+  double node_avg_rounds_mean = 0.0;
+  double worst_rounds_mean = 0.0;
+  double messages_mean = 0.0;
+  std::uint64_t invalid_runs = 0;
+  std::uint64_t runs = 0;
+};
+
+/// Runs `engine` `num_seeds` times on graphs produced by `make_graph`
+/// (called with seed) and aggregates. Seeds are base_seed + i.
+template <typename GraphFactory>
+AggregateRun aggregate_mis(MisEngine engine, const GraphFactory& make_graph,
+                           std::uint64_t base_seed, std::uint32_t num_seeds);
+
+}  // namespace slumber::analysis
+
+#include "analysis/experiment_impl.h"

@@ -1,0 +1,69 @@
+#include "analysis/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/table.h"
+
+namespace slumber::analysis {
+
+Histogram::Histogram(double lo, double bin_width, std::size_t num_bins)
+    : lo_(lo), width_(bin_width), counts_(num_bins, 0) {
+  if (bin_width <= 0.0 || num_bins == 0) {
+    throw std::invalid_argument("Histogram: need positive width and bins");
+  }
+}
+
+void Histogram::add(double value) {
+  const double offset = (value - lo_) / width_;
+  std::size_t bin = 0;
+  if (offset > 0.0) {
+    bin = std::min(static_cast<std::size_t>(offset), counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (const double v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+double Histogram::tail_at_least(double x) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t mass = 0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    if (bin_lo(bin) >= x) mass += counts_[bin];
+  }
+  return static_cast<double>(mass) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(const std::string& value_label,
+                              double min_fraction) const {
+  Table table({value_label, "fraction", "bar"});
+  double max_fraction = 0.0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    max_fraction = std::max(max_fraction, fraction(bin));
+  }
+  const double bar_unit = max_fraction > 0.0 ? 52.0 / max_fraction : 0.0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const double f = fraction(bin);
+    if (f < min_fraction) continue;
+    const auto bar_len = static_cast<std::size_t>(std::round(f * bar_unit));
+    table.add_row({Table::num(bin_lo(bin), width_ >= 1.0 ? 0 : 2),
+                   Table::num(f, 4), std::string(bar_len, '#')});
+  }
+  return table.render();
+}
+
+}  // namespace slumber::analysis

@@ -1,0 +1,49 @@
+// Fixed-width histograms with ASCII rendering, for distributional
+// views of per-node metrics (E17 studies the full distribution of the
+// awake time A_v, not just its mean -- the paper's Section 1.2 remarks
+// that "one can also study other properties of A").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace slumber::analysis {
+
+class Histogram {
+ public:
+  /// Bins [lo, lo+w), [lo+w, lo+2w), ...; values below `lo` clamp into
+  /// the first bin, values at or above the last edge into the last.
+  Histogram(double lo, double bin_width, std::size_t num_bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_[bin]; }
+  std::uint64_t total() const { return total_; }
+
+  /// Left edge of bin i.
+  double bin_lo(std::size_t bin) const;
+
+  /// Fraction of mass in bin i (0 if empty histogram).
+  double fraction(std::size_t bin) const;
+
+  /// Empirical P[X >= x] (with bin resolution: mass of all bins whose
+  /// left edge is >= x).
+  double tail_at_least(double x) const;
+
+  /// Markdown-ish table with a '#'-bar column; bins holding less than
+  /// `min_fraction` of the mass are elided.
+  std::string render(const std::string& value_label,
+                     double min_fraction = 0.002) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace slumber::analysis

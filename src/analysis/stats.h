@@ -1,0 +1,48 @@
+// Statistics helpers for the experiment harness: summaries with
+// confidence intervals, and least-squares fits used to classify growth
+// rates (is node-averaged awake complexity flat in n? does worst-case
+// awake complexity track log n?).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace slumber::analysis {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  /// Half-width of the ~95% normal confidence interval of the mean.
+  double ci95 = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Ordinary least squares y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fits y ~ c * x^e via log-log regression (requires positive data);
+/// exponent near 0 = constant, near 1 = linear, etc.
+LinearFit power_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fits y ~ a + b * log2(x): slope b near 0 means y is O(1) in x.
+LinearFit log_fit(std::span<const double> x, std::span<const double> y);
+
+/// Percentile (0..100) by linear interpolation.
+double percentile(std::span<const double> values, double pct);
+
+/// "12.3 +- 0.4" formatting helper.
+std::string mean_ci_string(const Summary& s, int precision = 2);
+
+}  // namespace slumber::analysis

@@ -1,0 +1,35 @@
+// Minimal fixed-width ASCII table rendering for the bench binaries
+// (Table-1-style output).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace slumber::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double value, int precision = 2);
+  static std::string num(std::uint64_t value);
+
+  /// Renders with column alignment and a header rule.
+  std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& out, const Table& table);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used by the benches.
+std::string banner(const std::string& title);
+
+}  // namespace slumber::analysis

@@ -1,0 +1,38 @@
+// Solution verifiers. Every test and every bench run self-checks its
+// output through these; the algorithms are Monte Carlo (paper Theorem
+// 1/2: correct w.h.p.), so violations must fail loudly, not skew data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace slumber::analysis {
+
+/// Detailed MIS check result.
+struct MisCheck {
+  bool is_independent = false;
+  bool is_maximal = false;
+  bool all_decided = false;  // every node output 0 or 1
+  bool ok() const { return is_independent && is_maximal && all_decided; }
+  std::string describe() const;
+};
+
+/// Checks protocol outputs (1 = in MIS, 0 = out, anything else =
+/// undecided) against g.
+MisCheck check_mis(const Graph& g, const std::vector<std::int64_t>& outputs);
+
+/// Checks a 0/1 indicator vector.
+MisCheck check_mis_indicator(const Graph& g,
+                             const std::vector<std::uint8_t>& in_mis);
+
+/// True iff `colors` is a proper coloring with colors[v] in
+/// [0, deg(v)+1) (the Luby (Delta+1)-coloring contract).
+bool check_coloring(const Graph& g, const std::vector<std::int64_t>& colors);
+
+/// Vertices with output == 1.
+std::vector<VertexId> mis_vertices(const std::vector<std::int64_t>& outputs);
+
+}  // namespace slumber::analysis

@@ -1,0 +1,42 @@
+#include "energy/energy.h"
+
+#include <algorithm>
+
+namespace slumber::energy {
+
+double EnergyModel::node_energy_mj(const sim::NodeMetrics& m) const {
+  const double second_per_ms = 1e-3;
+  const double round_s = round_ms * second_per_ms;
+  const double awake_s = static_cast<double>(m.awake_rounds) * round_s;
+  const double sleep_rounds =
+      static_cast<double>(m.finish_round >= m.awake_rounds
+                              ? m.finish_round - m.awake_rounds
+                              : 0);
+  const double sleep_s = sleep_rounds * round_s;
+  // Base draw: idle while awake, sleep power while asleep.
+  double mj = idle_mw * awake_s + sleep_mw * sleep_s;
+  // Message increments: the tx/rx premium over idle for the fraction of
+  // the round the radio is actively moving a message.
+  const double tx_premium = (tx_mw - idle_mw) * msg_fraction * round_s;
+  const double rx_premium = (rx_mw - idle_mw) * msg_fraction * round_s;
+  mj += tx_premium * static_cast<double>(m.messages_sent);
+  mj += rx_premium * static_cast<double>(m.messages_received);
+  return mj;
+}
+
+EnergyReport evaluate(const EnergyModel& model, const sim::Metrics& metrics) {
+  EnergyReport report;
+  report.per_node_mj.reserve(metrics.node.size());
+  for (const sim::NodeMetrics& m : metrics.node) {
+    const double mj = model.node_energy_mj(m);
+    report.per_node_mj.push_back(mj);
+    report.total_mj += mj;
+    report.max_mj = std::max(report.max_mj, mj);
+  }
+  if (!metrics.node.empty()) {
+    report.mean_mj = report.total_mj / static_cast<double>(metrics.node.size());
+  }
+  return report;
+}
+
+}  // namespace slumber::energy

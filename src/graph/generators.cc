@@ -1,0 +1,364 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace slumber::gen {
+
+Graph empty(VertexId n) { return Graph(n, {}); }
+
+Graph complete(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
+Graph cycle(VertexId n) {
+  if (n < 3) throw std::invalid_argument("cycle: need n >= 3");
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) builder.add_edge(v, (v + 1) % n);
+  return std::move(builder).build();
+}
+
+Graph path(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
+  return std::move(builder).build();
+}
+
+Graph star(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 1; v < n; ++v) builder.add_edge(0, v);
+  return std::move(builder).build();
+}
+
+Graph complete_bipartite(VertexId a, VertexId b) {
+  GraphBuilder builder(a + b);
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) builder.add_edge(u, a + v);
+  }
+  return std::move(builder).build();
+}
+
+Graph grid(VertexId rows, VertexId cols) {
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph torus(VertexId rows, VertexId cols) {
+  if (rows < 3 || cols < 3) throw std::invalid_argument("torus: need >= 3x3");
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      builder.add_edge(id(r, c), id(r, (c + 1) % cols));
+      builder.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph hypercube(std::uint32_t d) {
+  const VertexId n = VertexId{1} << d;
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t bit = 0; bit < d; ++bit) {
+      const VertexId u = v ^ (VertexId{1} << bit);
+      if (u > v) builder.add_edge(v, u);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph binary_tree(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 1; v < n; ++v) builder.add_edge(v, (v - 1) / 2);
+  return std::move(builder).build();
+}
+
+Graph lollipop(VertexId n, VertexId clique_size) {
+  if (clique_size > n) throw std::invalid_argument("lollipop: clique > n");
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < clique_size; ++u) {
+    for (VertexId v = u + 1; v < clique_size; ++v) builder.add_edge(u, v);
+  }
+  for (VertexId v = clique_size; v < n; ++v) builder.add_edge(v - 1, v);
+  return std::move(builder).build();
+}
+
+Graph caterpillar(VertexId spine, VertexId legs) {
+  const VertexId n = spine + spine * legs;
+  GraphBuilder builder(n);
+  for (VertexId s = 0; s + 1 < spine; ++s) builder.add_edge(s, s + 1);
+  for (VertexId s = 0; s < spine; ++s) {
+    for (VertexId leg = 0; leg < legs; ++leg) {
+      builder.add_edge(s, spine + s * legs + leg);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph clique_chain(VertexId n, VertexId clique_size) {
+  if (clique_size == 0) throw std::invalid_argument("clique_chain: k == 0");
+  GraphBuilder builder(n);
+  for (VertexId base = 0; base < n; base += clique_size) {
+    const VertexId end = std::min<VertexId>(base + clique_size, n);
+    for (VertexId u = base; u < end; ++u) {
+      for (VertexId v = u + 1; v < end; ++v) builder.add_edge(u, v);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph gnp(VertexId n, double p, Rng& rng) {
+  GraphBuilder builder(n);
+  if (p <= 0.0 || n < 2) return std::move(builder).build();
+  if (p >= 1.0) return complete(n);
+  // Geometric skipping (Batagelj-Brandes): O(n + m) expected.
+  const double log1mp = std::log1p(-p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (v < nn) {
+    const double r = rng.uniform();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp));
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn) {
+      builder.add_edge(static_cast<VertexId>(w), static_cast<VertexId>(v));
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph gnp_avg_degree(VertexId n, double avg_deg, Rng& rng) {
+  if (n < 2) return empty(n);
+  return gnp(n, std::min(1.0, avg_deg / static_cast<double>(n - 1)), rng);
+}
+
+Graph random_tree(VertexId n, Rng& rng) {
+  if (n == 0) return empty(0);
+  if (n == 1) return empty(1);
+  if (n == 2) return path(2);
+  // Pruefer decoding.
+  std::vector<VertexId> pruefer(n - 2);
+  for (auto& x : pruefer) x = static_cast<VertexId>(rng.below(n));
+  std::vector<std::uint32_t> deg(n, 1);
+  for (VertexId x : pruefer) ++deg[x];
+  std::set<VertexId> leaves;
+  for (VertexId v = 0; v < n; ++v) {
+    if (deg[v] == 1) leaves.insert(v);
+  }
+  GraphBuilder builder(n);
+  for (VertexId x : pruefer) {
+    const VertexId leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    builder.add_edge(leaf, x);
+    if (--deg[x] == 1) leaves.insert(x);
+  }
+  const VertexId u = *leaves.begin();
+  const VertexId v = *std::next(leaves.begin());
+  builder.add_edge(u, v);
+  return std::move(builder).build();
+}
+
+Graph random_regular(VertexId n, std::uint32_t d, Rng& rng) {
+  if (static_cast<std::uint64_t>(n) * d % 2 != 0) {
+    throw std::invalid_argument("random_regular: n*d must be even");
+  }
+  if (d >= n) throw std::invalid_argument("random_regular: need d < n");
+  // Configuration model with rejection: retry until the multigraph is simple.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<VertexId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (VertexId v = 0; v < n; ++v) {
+      for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    rng.shuffle(stubs);
+    bool simple = true;
+    std::set<Edge> edge_set;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      VertexId u = stubs[i];
+      VertexId v = stubs[i + 1];
+      if (u == v) {
+        simple = false;
+        break;
+      }
+      if (u > v) std::swap(u, v);
+      if (!edge_set.insert({u, v}).second) {
+        simple = false;
+        break;
+      }
+    }
+    if (!simple) continue;
+    return Graph(n, std::vector<Edge>(edge_set.begin(), edge_set.end()));
+  }
+  throw std::runtime_error("random_regular: too many rejections");
+}
+
+Graph barabasi_albert(VertexId n, std::uint32_t m, Rng& rng) {
+  if (n == 0) return empty(0);
+  const VertexId seed_size = std::max<VertexId>(m + 1, 2);
+  if (n <= seed_size) return complete(n);
+  GraphBuilder builder(n);
+  // Repeated-endpoint list: attachment proportional to degree.
+  std::vector<VertexId> endpoint_pool;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.add_edge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (VertexId v = seed_size; v < n; ++v) {
+    std::set<VertexId> targets;
+    while (targets.size() < m) {
+      targets.insert(endpoint_pool[rng.below(endpoint_pool.size())]);
+    }
+    for (VertexId t : targets) {
+      builder.add_edge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph random_geometric(VertexId n, double radius, Rng& rng,
+                       std::vector<std::pair<double, double>>* coords_out) {
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  // Cell grid for near-linear neighbor search.
+  const double cell = std::max(radius, 1e-9);
+  const auto cells_per_side =
+      static_cast<std::int64_t>(std::floor(1.0 / cell)) + 1;
+  auto cell_of = [&](double x) {
+    return std::min<std::int64_t>(static_cast<std::int64_t>(x / cell),
+                                  cells_per_side - 1);
+  };
+  std::vector<std::vector<VertexId>> buckets(
+      static_cast<std::size_t>(cells_per_side * cells_per_side));
+  for (VertexId v = 0; v < n; ++v) {
+    buckets[static_cast<std::size_t>(cell_of(pts[v].first) * cells_per_side +
+                                     cell_of(pts[v].second))]
+        .push_back(v);
+  }
+  const double r2 = radius * radius;
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::int64_t cx = cell_of(pts[v].first);
+    const std::int64_t cy = cell_of(pts[v].second);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const std::int64_t bx = cx + dx;
+        const std::int64_t by = cy + dy;
+        if (bx < 0 || by < 0 || bx >= cells_per_side || by >= cells_per_side) {
+          continue;
+        }
+        for (VertexId u :
+             buckets[static_cast<std::size_t>(bx * cells_per_side + by)]) {
+          if (u <= v) continue;
+          const double ddx = pts[u].first - pts[v].first;
+          const double ddy = pts[u].second - pts[v].second;
+          if (ddx * ddx + ddy * ddy <= r2) builder.add_edge(v, u);
+        }
+      }
+    }
+  }
+  if (coords_out != nullptr) *coords_out = std::move(pts);
+  return std::move(builder).build();
+}
+
+std::vector<Family> all_families() {
+  return {Family::kEmpty,        Family::kComplete,      Family::kCycle,
+          Family::kPath,         Family::kStar,          Family::kGrid,
+          Family::kTorus,        Family::kHypercube,     Family::kBinaryTree,
+          Family::kLollipop,     Family::kCaterpillar,   Family::kCliqueChain,
+          Family::kGnpSparse,    Family::kGnpDense,      Family::kRandomTree,
+          Family::kRandomRegular, Family::kBarabasiAlbert, Family::kUnitDisk};
+}
+
+std::vector<Family> core_families() {
+  return {Family::kCycle,         Family::kStar,       Family::kGrid,
+          Family::kLollipop,      Family::kGnpSparse,  Family::kGnpDense,
+          Family::kRandomTree,    Family::kRandomRegular,
+          Family::kBarabasiAlbert, Family::kUnitDisk};
+}
+
+std::string family_name(Family family) {
+  switch (family) {
+    case Family::kEmpty: return "empty";
+    case Family::kComplete: return "complete";
+    case Family::kCycle: return "cycle";
+    case Family::kPath: return "path";
+    case Family::kStar: return "star";
+    case Family::kGrid: return "grid";
+    case Family::kTorus: return "torus";
+    case Family::kHypercube: return "hypercube";
+    case Family::kBinaryTree: return "binary_tree";
+    case Family::kLollipop: return "lollipop";
+    case Family::kCaterpillar: return "caterpillar";
+    case Family::kCliqueChain: return "clique_chain";
+    case Family::kGnpSparse: return "gnp_sparse";
+    case Family::kGnpDense: return "gnp_dense";
+    case Family::kRandomTree: return "random_tree";
+    case Family::kRandomRegular: return "random_regular";
+    case Family::kBarabasiAlbert: return "barabasi_albert";
+    case Family::kUnitDisk: return "unit_disk";
+  }
+  return "unknown";
+}
+
+Graph make(Family family, VertexId n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto side = static_cast<VertexId>(std::max(
+      2.0, std::round(std::sqrt(static_cast<double>(n)))));
+  switch (family) {
+    case Family::kEmpty: return empty(n);
+    case Family::kComplete: return complete(n);
+    case Family::kCycle: return cycle(std::max<VertexId>(n, 3));
+    case Family::kPath: return path(n);
+    case Family::kStar: return star(n);
+    case Family::kGrid: return grid(side, side);
+    case Family::kTorus: return torus(std::max<VertexId>(side, 3),
+                                      std::max<VertexId>(side, 3));
+    case Family::kHypercube: {
+      std::uint32_t d = 0;
+      while ((VertexId{1} << (d + 1)) <= n) ++d;
+      return hypercube(d);
+    }
+    case Family::kBinaryTree: return binary_tree(n);
+    case Family::kLollipop:
+      return lollipop(n, std::max<VertexId>(2, n / 4));
+    case Family::kCaterpillar:
+      return caterpillar(std::max<VertexId>(1, n / 4), 3);
+    case Family::kCliqueChain: return clique_chain(n, 8);
+    case Family::kGnpSparse: return gnp_avg_degree(n, 8.0, rng);
+    case Family::kGnpDense: return gnp(n, 0.5, rng);
+    case Family::kRandomTree: return random_tree(n, rng);
+    case Family::kRandomRegular:
+      return random_regular(n % 2 == 0 ? n : n + 1, 4, rng);
+    case Family::kBarabasiAlbert: return barabasi_albert(n, 3, rng);
+    case Family::kUnitDisk: {
+      const double radius =
+          std::sqrt(12.0 / (3.14159265358979323846 * std::max<VertexId>(n, 1)));
+      return random_geometric(n, radius, rng);
+    }
+  }
+  throw std::invalid_argument("make: unknown family");
+}
+
+}  // namespace slumber::gen

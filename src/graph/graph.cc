@@ -1,0 +1,107 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace slumber {
+
+Graph::Graph(VertexId n, std::vector<Edge> edges) : n_(n) {
+  for (Edge& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    }
+    if (e.u == e.v) {
+      throw std::invalid_argument("Graph: self-loops are not allowed");
+    }
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges_ = std::move(edges);
+
+  std::vector<std::uint32_t> deg(n, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + deg[v];
+  adjacency_.resize(offsets_[n]);
+
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    adjacency_[cursor[e.u]++] = e.v;
+    adjacency_[cursor[e.v]++] = e.u;
+  }
+  // Edges are sorted by (u, v), so each vertex's neighbor list as filled
+  // above is sorted for the 'u' side but not necessarily for the 'v' side;
+  // sort each range to guarantee the documented port order.
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+              adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]));
+    max_degree_ = std::max(max_degree_, deg[v]);
+  }
+}
+
+std::int64_t Graph::port_to(VertexId v, VertexId u) const {
+  auto nbrs = neighbors(v);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), u);
+  if (it == nbrs.end() || *it != u) return -1;
+  return it - nbrs.begin();
+}
+
+std::pair<Graph, std::vector<VertexId>> Graph::induced(
+    std::span<const VertexId> vertices) const {
+  std::unordered_map<VertexId, VertexId> to_new;
+  to_new.reserve(vertices.size());
+  std::vector<VertexId> to_original(vertices.begin(), vertices.end());
+  for (VertexId i = 0; i < to_original.size(); ++i) {
+    auto [it, inserted] = to_new.emplace(to_original[i], i);
+    if (!inserted) {
+      throw std::invalid_argument("Graph::induced: duplicate vertex");
+    }
+  }
+  std::vector<Edge> sub_edges;
+  for (const Edge& e : edges_) {
+    auto iu = to_new.find(e.u);
+    if (iu == to_new.end()) continue;
+    auto iv = to_new.find(e.v);
+    if (iv == to_new.end()) continue;
+    sub_edges.push_back({iu->second, iv->second});
+  }
+  return {Graph(static_cast<VertexId>(to_original.size()), std::move(sub_edges)),
+          std::move(to_original)};
+}
+
+Graph Graph::line_graph() const {
+  const auto m = static_cast<VertexId>(edges_.size());
+  // Bucket edge ids by endpoint; any two edge ids in the same bucket are
+  // adjacent in the line graph.
+  std::vector<std::vector<EdgeId>> incident(n_);
+  for (EdgeId e = 0; e < m; ++e) {
+    incident[edges_[e].u].push_back(e);
+    incident[edges_[e].v].push_back(e);
+  }
+  GraphBuilder builder(m);
+  for (VertexId v = 0; v < n_; ++v) {
+    const auto& bucket = incident[v];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      for (std::size_t j = i + 1; j < bucket.size(); ++j) {
+        builder.add_edge(bucket[i], bucket[j]);
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+std::string Graph::summary() const {
+  return "n=" + std::to_string(n_) + " m=" + std::to_string(edges_.size()) +
+         " maxdeg=" + std::to_string(max_degree_);
+}
+
+Graph GraphBuilder::build() && {
+  return Graph(n_, std::move(edges_));
+}
+
+}  // namespace slumber

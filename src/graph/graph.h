@@ -1,0 +1,140 @@
+// Graph substrate for the slumber library.
+//
+// A slumber::Graph is a simple undirected graph stored in compressed
+// sparse row (CSR) form. It is the static topology on which the
+// synchronous CONGEST simulator (src/sim) runs. Vertices are dense
+// integers [0, n). Each vertex's incident edges are numbered by "ports"
+// 0..deg(v)-1 in the order they appear in the adjacency array, matching
+// the port-numbering assumption of the model in the paper (Section 1.2).
+//
+// Graphs are immutable after construction; use GraphBuilder to assemble
+// edge sets incrementally. All operations that return neighbor lists
+// return std::span views into the CSR arrays (no allocation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slumber {
+
+/// Dense vertex identifier. Graphs in this library are laptop-scale
+/// (n up to a few million), so 32 bits suffice.
+using VertexId = std::uint32_t;
+
+/// Identifier of an undirected edge (index into Graph::edges()).
+using EdgeId = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// An undirected edge as an (u, v) pair with u <= v after normalization.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Immutable simple undirected graph in CSR form.
+class Graph {
+ public:
+  /// Empty graph (0 vertices).
+  Graph() = default;
+
+  /// Builds a graph with `n` vertices from an edge list. Self-loops are
+  /// rejected (throws std::invalid_argument); duplicate edges are merged.
+  /// Endpoints must be < n.
+  Graph(VertexId n, std::vector<Edge> edges);
+
+  VertexId num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Degree of vertex v.
+  std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  std::uint32_t max_degree() const { return max_degree_; }
+
+  /// Neighbors of v, sorted ascending. The i-th entry is the neighbor on
+  /// port i of v.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// The neighbor reached through port `port` of vertex v.
+  VertexId neighbor(VertexId v, std::uint32_t port) const {
+    return adjacency_[offsets_[v] + port];
+  }
+
+  /// Port of v that leads to neighbor u, or -1 if {v,u} is not an edge.
+  /// Logarithmic in deg(v).
+  std::int64_t port_to(VertexId v, VertexId u) const;
+
+  /// True iff {u, v} is an edge.
+  bool has_edge(VertexId u, VertexId v) const { return port_to(u, v) >= 0; }
+
+  /// The normalized, sorted edge list.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// True iff the vertex has no incident edges.
+  bool is_isolated(VertexId v) const { return degree(v) == 0; }
+
+  /// Sum of degrees = 2|E|.
+  std::size_t degree_sum() const { return adjacency_.size(); }
+
+  /// Subgraph induced by `vertices` (need not be sorted; duplicates are
+  /// an error). Returns the new graph plus the mapping new-id -> old-id.
+  std::pair<Graph, std::vector<VertexId>> induced(
+      std::span<const VertexId> vertices) const;
+
+  /// Line graph L(G): one vertex per edge of G; two vertices adjacent iff
+  /// the corresponding edges share an endpoint. Used to reduce maximal
+  /// matching to MIS (see src/algos/matching.h).
+  Graph line_graph() const;
+
+  /// A human-readable one-line summary ("n=8 m=12 maxdeg=5").
+  std::string summary() const;
+
+ private:
+  VertexId n_ = 0;
+  std::uint32_t max_degree_ = 0;
+  std::vector<std::size_t> offsets_;   // size n_+1
+  std::vector<VertexId> adjacency_;    // size 2|E|
+  std::vector<Edge> edges_;            // sorted, normalized
+};
+
+/// Incremental builder for Graph. Tolerates duplicate edges and
+/// both edge orientations; rejects self-loops at build() time.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId n) : n_(n) {}
+
+  /// Adds the undirected edge {u, v}.
+  void add_edge(VertexId u, VertexId v) { edges_.push_back(normalize(u, v)); }
+
+  /// Number of vertices the builder was created with.
+  VertexId num_vertices() const { return n_; }
+
+  /// Edges added so far (not yet deduplicated).
+  std::size_t num_added_edges() const { return edges_.size(); }
+
+  /// Finalizes into an immutable Graph.
+  Graph build() &&;
+
+ private:
+  static Edge normalize(VertexId u, VertexId v) {
+    return u <= v ? Edge{u, v} : Edge{v, u};
+  }
+
+  VertexId n_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace slumber

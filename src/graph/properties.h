@@ -1,0 +1,61 @@
+// Structural graph properties used by the experiment harness and tests.
+//
+// Arboricity shows up in the paper's comparison with Barenboim-Tzur
+// (O(a + log* n) node-averaged MIS in the traditional model); we compute
+// the degeneracy, which sandwiches arboricity (a <= degeneracy <= 2a - 1),
+// so experiment tables can report it per workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace slumber {
+
+/// Connected components: result[v] = component index in [0, count).
+struct Components {
+  std::vector<VertexId> component_of;
+  VertexId count = 0;
+};
+Components connected_components(const Graph& g);
+
+/// True iff g is connected (the empty graph is considered connected).
+bool is_connected(const Graph& g);
+
+/// BFS distances from `source`; unreachable vertices get -1.
+std::vector<std::int64_t> bfs_distances(const Graph& g, VertexId source);
+
+/// True iff g is bipartite (2-colorable); the empty graph is bipartite.
+bool is_bipartite(const Graph& g);
+
+/// Eccentricity of `source` within its component.
+std::int64_t eccentricity(const Graph& g, VertexId source);
+
+/// Exact diameter of the largest component (O(n(n+m)); fine for tests),
+/// or -1 for the empty graph.
+std::int64_t diameter(const Graph& g);
+
+/// Degeneracy ordering (smallest-last). `order[i]` is the i-th removed
+/// vertex; `degeneracy` is the max degree seen at removal time.
+struct DegeneracyResult {
+  std::vector<VertexId> order;
+  std::uint32_t degeneracy = 0;
+};
+DegeneracyResult degeneracy_order(const Graph& g);
+
+/// Lower and upper bounds on arboricity derived from density and
+/// degeneracy: ceil(m / (n-1)) <= a <= degeneracy.
+struct ArboricityBounds {
+  std::uint32_t lower = 0;
+  std::uint32_t upper = 0;
+};
+ArboricityBounds arboricity_bounds(const Graph& g);
+
+/// Number of triangles (used to sanity-check generators).
+std::uint64_t triangle_count(const Graph& g);
+
+/// Average degree 2m/n (0 for the empty graph).
+double average_degree(const Graph& g);
+
+}  // namespace slumber

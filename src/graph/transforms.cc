@@ -1,0 +1,98 @@
+#include "graph/transforms.h"
+
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace slumber {
+
+Graph power(const Graph& g, std::uint32_t k) {
+  const VertexId n = g.num_vertices();
+  if (k == 0) return Graph(n, {});
+  if (k == 1) return Graph(n, g.edges());
+
+  GraphBuilder builder(n);
+  // BFS to depth k from every vertex; distances are reset lazily via a
+  // visit stamp so the scratch arrays are allocated once.
+  std::vector<std::uint32_t> dist(n, 0);
+  std::vector<VertexId> stamp(n, kInvalidVertex);
+  std::queue<VertexId> frontier;
+  for (VertexId s = 0; s < n; ++s) {
+    stamp[s] = s;
+    dist[s] = 0;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const VertexId u = frontier.front();
+      frontier.pop();
+      if (dist[u] == k) continue;
+      for (const VertexId w : g.neighbors(u)) {
+        if (stamp[w] == s) continue;
+        stamp[w] = s;
+        dist[w] = dist[u] + 1;
+        frontier.push(w);
+        if (w > s) builder.add_edge(s, w);  // each pair once
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph complement(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    auto nbrs = g.neighbors(u);  // sorted ascending
+    std::size_t i = 0;
+    for (VertexId v = u + 1; v < n; ++v) {
+      while (i < nbrs.size() && nbrs[i] < v) ++i;
+      if (i < nbrs.size() && nbrs[i] == v) continue;
+      builder.add_edge(u, v);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph disjoint_union(std::span<const Graph> parts) {
+  std::uint64_t total = 0;
+  for (const Graph& part : parts) total += part.num_vertices();
+  if (total > static_cast<std::uint64_t>(kInvalidVertex)) {
+    throw std::invalid_argument("disjoint_union: too many vertices");
+  }
+  GraphBuilder builder(static_cast<VertexId>(total));
+  VertexId offset = 0;
+  for (const Graph& part : parts) {
+    for (const Edge& e : part.edges()) {
+      builder.add_edge(e.u + offset, e.v + offset);
+    }
+    offset += part.num_vertices();
+  }
+  return std::move(builder).build();
+}
+
+Graph subdivision(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  const auto m = static_cast<VertexId>(g.num_edges());
+  GraphBuilder builder(n + m);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge edge = g.edges()[e];
+    const VertexId x = n + e;
+    builder.add_edge(edge.u, x);
+    builder.add_edge(x, edge.v);
+  }
+  return std::move(builder).build();
+}
+
+Graph mycielski(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  const VertexId apex = 2 * n;
+  GraphBuilder builder(2 * n + 1);
+  for (const Edge& e : g.edges()) {
+    builder.add_edge(e.u, e.v);        // original edge
+    builder.add_edge(n + e.u, e.v);    // shadow(u) - v
+    builder.add_edge(e.u, n + e.v);    // u - shadow(v)
+  }
+  for (VertexId v = 0; v < n; ++v) builder.add_edge(n + v, apex);
+  return std::move(builder).build();
+}
+
+}  // namespace slumber

@@ -1,0 +1,50 @@
+// Graph transforms: derived graphs used by the reductions and the test
+// workloads.
+//
+// The library reduces several of the Barenboim-Tzur problem family to
+// MIS on a derived graph: maximal matching runs MIS on the line graph
+// (Graph::line_graph), (2*Delta-1)-edge-coloring runs vertex coloring on
+// the line graph, and (2,beta)-ruling sets relate to MIS on the graph
+// power G^2. The remaining transforms (complement, subdivision,
+// Mycielski, disjoint union) build structured adversarial inputs for the
+// property-test suites: complements flip independence into cliques,
+// subdivisions are bipartite and triangle-free, Mycielski graphs push
+// chromatic number up while staying triangle-free, and disjoint unions
+// exercise the per-component independence of the protocols.
+//
+// All transforms are pure functions of the input graph (deterministic,
+// no RNG) and return ordinary immutable Graphs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace slumber {
+
+/// The k-th graph power G^k: same vertex set, u ~ v iff their distance
+/// in g is in [1, k]. power(g, 1) == g (up to representation). k == 0
+/// returns the edgeless graph. MIS on G^2 is a 2-ruling set of G.
+Graph power(const Graph& g, std::uint32_t k);
+
+/// The complement graph: u ~ v iff u != v and {u,v} is not an edge of g.
+/// Quadratic in n by nature; intended for small/medium test graphs.
+Graph complement(const Graph& g);
+
+/// Disjoint union of `parts`: vertex ids of part i are offset by the
+/// total size of parts 0..i-1.
+Graph disjoint_union(std::span<const Graph> parts);
+
+/// The barycentric subdivision: every edge {u,v} is replaced by a path
+/// u - x_e - v through a fresh vertex x_e (ids n..n+m-1, in
+/// g.edges() order). The result is bipartite and triangle-free.
+Graph subdivision(const Graph& g);
+
+/// The Mycielski construction M(g): 2n+1 vertices -- the originals
+/// [0,n), shadows [n,2n) with shadow(i) adjacent to the g-neighbors of
+/// i, and an apex 2n adjacent to every shadow. Raises the chromatic
+/// number by one while preserving triangle-freeness.
+Graph mycielski(const Graph& g);
+
+}  // namespace slumber

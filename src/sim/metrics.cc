@@ -1,0 +1,50 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+namespace slumber::sim {
+namespace {
+
+template <typename Get>
+double mean_over_nodes(const std::vector<NodeMetrics>& node, Get get) {
+  if (node.empty()) return 0.0;
+  double sum = 0.0;
+  for (const NodeMetrics& m : node) sum += static_cast<double>(get(m));
+  return sum / static_cast<double>(node.size());
+}
+
+}  // namespace
+
+double Metrics::node_avg_awake() const {
+  return mean_over_nodes(node,
+                         [](const NodeMetrics& m) { return m.awake_rounds; });
+}
+
+std::uint64_t Metrics::worst_awake() const {
+  std::uint64_t worst = 0;
+  for (const NodeMetrics& m : node) worst = std::max(worst, m.awake_rounds);
+  return worst;
+}
+
+double Metrics::node_avg_finish() const {
+  return mean_over_nodes(node,
+                         [](const NodeMetrics& m) { return m.finish_round; });
+}
+
+std::uint64_t Metrics::worst_finish() const {
+  std::uint64_t worst = 0;
+  for (const NodeMetrics& m : node) worst = std::max(worst, m.finish_round);
+  return worst;
+}
+
+double Metrics::node_avg_decided() const {
+  return mean_over_nodes(node,
+                         [](const NodeMetrics& m) { return m.decided_round; });
+}
+
+double Metrics::node_avg_awake_at_decision() const {
+  return mean_over_nodes(
+      node, [](const NodeMetrics& m) { return m.awake_at_decision; });
+}
+
+}  // namespace slumber::sim

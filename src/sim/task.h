@@ -1,0 +1,108 @@
+// A minimal coroutine task for writing per-node protocols.
+//
+// Protocols in this library are C++20 coroutines returning sim::Task.
+// Nested calls (`co_await subprotocol(...)`) use symmetric transfer: the
+// awaiting frame records itself as the child's continuation and control
+// jumps directly into the child. When a protocol performs a communication
+// round (`co_await ctx.broadcast(...)`), the *innermost* coroutine handle
+// is parked in the node's Context and the whole stack stays suspended
+// until the scheduler resumes it at the node's next awake round. This is
+// what lets SleepingMISRecursive read line-for-line like Algorithm 1 in
+// the paper while the scheduler remains a flat event loop.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace slumber::sim {
+
+/// Lazily-started coroutine task (void result), move-only, owns its frame.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;  // resumed when this task finishes
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto continuation = h.promise().continuation;
+        return continuation ? continuation : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle handle) : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return !handle_ || handle_.done(); }
+  Handle handle() const { return handle_; }
+
+  /// Starts (or continues) the task from the outside. Used by the
+  /// scheduler for the root protocol only.
+  void resume_from_root() { handle_.resume(); }
+
+  /// Rethrows an exception that escaped the coroutine body, if any.
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  /// Awaiting a Task runs it as a nested protocol call.
+  auto operator co_await() const noexcept {
+    struct Awaiter {
+      Handle child;
+      bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) const noexcept {
+        child.promise().continuation = parent;
+        return child;  // symmetric transfer into the child
+      }
+      void await_resume() const {
+        if (child && child.promise().exception) {
+          std::rethrow_exception(child.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace slumber::sim

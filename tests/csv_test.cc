@@ -1,0 +1,71 @@
+// Tests for the CSV writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/csv.h"
+
+namespace slumber::analysis {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/slumber_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter writer(path_, {"n", "awake"});
+    writer.add_row(std::vector<std::string>{"64", "6.5"});
+    writer.add_row(std::vector<double>{128, 6.7});
+    EXPECT_EQ(writer.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_file(path_), "n,awake\n64,6.5\n128,6.7\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter writer(path_, {"name", "note"});
+    writer.add_row(std::vector<std::string>{"a,b", "say \"hi\"\nok"});
+  }
+  EXPECT_EQ(read_file(path_),
+            "name,note\n\"a,b\",\"say \"\"hi\"\"\nok\"\n");
+}
+
+TEST_F(CsvTest, RejectsArityMismatch) {
+  CsvWriter writer(path_, {"a", "b"});
+  EXPECT_THROW(writer.add_row(std::vector<std::string>{"1"}),
+               std::invalid_argument);
+}
+
+TEST_F(CsvTest, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(CsvEnvTest, PathFromEnv) {
+  unsetenv("SLUMBER_CSV_DIR");
+  EXPECT_FALSE(csv_path_from_env("table1").has_value());
+  setenv("SLUMBER_CSV_DIR", "/tmp", 1);
+  const auto path = csv_path_from_env("table1");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, "/tmp/table1.csv");
+  unsetenv("SLUMBER_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace slumber::analysis

@@ -1,0 +1,171 @@
+// Tests for Algorithm 2 (Fast-SleepingMIS): correctness, the truncated
+// schedule (Theorem 2), the fixed-duration greedy base case, and the
+// Corollary-1 equivalence with sequential greedy on (bits, base rank).
+#include <gtest/gtest.h>
+
+#include "analysis/verify.h"
+#include "core/fast_sleeping_mis.h"
+#include "core/rank.h"
+#include "core/schedule.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+namespace slumber::core {
+namespace {
+
+sim::RunResult run_on(const Graph& g, std::uint64_t seed,
+                      RecursionTrace* trace = nullptr,
+                      FastSleepingMisOptions options = {}) {
+  sim::NetworkOptions net_options;
+  net_options.max_message_bits = sim::congest_bits_for(g.num_vertices());
+  return sim::run_protocol(g, seed, fast_sleeping_mis(options, trace),
+                           net_options);
+}
+
+TEST(FastSleepingMisTest, ValidOnManyFamiliesAndSeeds) {
+  for (gen::Family family : gen::core_families()) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const Graph g = gen::make(family, 80, seed);
+      auto [metrics, outputs] = run_on(g, seed * 31 + 7);
+      EXPECT_TRUE(analysis::check_mis(g, outputs).ok())
+          << gen::family_name(family) << " seed " << seed;
+    }
+  }
+}
+
+TEST(FastSleepingMisTest, MakespanMatchesTruncatedSchedule) {
+  // Theorem 2 / Lemma 13: all nodes finish at exactly T2(K2) where
+  // T2(0) = R (the fixed greedy budget).
+  for (const VertexId n : {16u, 64u, 256u}) {
+    Rng rng(n);
+    const Graph g = gen::gnp_avg_degree(n, 6.0, rng);
+    auto [metrics, outputs] = run_on(g, 5);
+    const std::uint64_t expected =
+        schedule_duration(fast_recursion_depth(n), greedy_base_rounds(n));
+    EXPECT_EQ(metrics.makespan, expected) << n;
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(metrics.node[v].finish_round, expected);
+    }
+  }
+}
+
+TEST(FastSleepingMisTest, MakespanIsPolylogNotCubic) {
+  const VertexId n = 256;
+  Rng rng(1);
+  const Graph g = gen::gnp_avg_degree(n, 6.0, rng);
+  auto [metrics, outputs] = run_on(g, 9);
+  // Algorithm 1 would take ~3 n^3 = 5e7 rounds; Algorithm 2 stays tiny.
+  EXPECT_LT(metrics.makespan, 100'000u);
+  EXPECT_GT(metrics.makespan, 10u);
+}
+
+TEST(FastSleepingMisTest, MatchesSequentialGreedyOnBitsAndRanks) {
+  // Corollary 1 for Algorithm 2: output equals sequential greedy under
+  // the order (decreasing K2-rank, then decreasing (base rank, id)).
+  for (gen::Family family :
+       {gen::Family::kGnpSparse, gen::Family::kGrid, gen::Family::kStar,
+        gen::Family::kBarabasiAlbert}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const Graph g = gen::make(family, 70, seed);
+      RecursionTrace trace;
+      auto [metrics, outputs] = run_on(g, seed * 101, &trace);
+      const auto order = greedy_order_from_bits_and_base(
+          trace.bits, trace.levels, trace.base_rank);
+      const auto expected = lex_first_mis(g, order);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(outputs[v], static_cast<std::int64_t>(expected[v]))
+            << gen::family_name(family) << " seed " << seed << " v " << v;
+      }
+    }
+  }
+}
+
+TEST(FastSleepingMisTest, BaseBudgetOverrideChangesMakespan) {
+  Rng rng(2);
+  const Graph g = gen::gnp_avg_degree(64, 6.0, rng);
+  FastSleepingMisOptions options;
+  options.base_rounds = 20;
+  auto [metrics, outputs] = run_on(g, 3, nullptr, options);
+  EXPECT_EQ(metrics.makespan,
+            schedule_duration(fast_recursion_depth(64), 20));
+}
+
+TEST(FastSleepingMisTest, LevelsOverrideUsesDeeperTree) {
+  Rng rng(3);
+  const Graph g = gen::gnp_avg_degree(64, 6.0, rng);
+  FastSleepingMisOptions options;
+  options.levels = 7;
+  RecursionTrace trace;
+  auto [metrics, outputs] = run_on(g, 3, &trace, options);
+  EXPECT_EQ(trace.levels, 7u);
+  EXPECT_EQ(metrics.makespan,
+            schedule_duration(7, greedy_base_rounds(64)));
+  EXPECT_TRUE(analysis::check_mis(g, outputs).ok());
+}
+
+TEST(FastSleepingMisTest, TinyBudgetLeavesBaseUnknownButIndependent) {
+  // With an absurdly small base budget the greedy cannot finish dense
+  // cells: the run must remain independent (never two adjacent MIS
+  // nodes) even if maximality fails -- the Monte Carlo failure mode.
+  const Graph g = gen::complete(24);
+  FastSleepingMisOptions options;
+  options.base_rounds = 2;
+  options.levels = 1;
+  auto [metrics, outputs] = run_on(g, 5, nullptr, options);
+  for (const Edge& e : g.edges()) {
+    EXPECT_FALSE(outputs[e.u] == 1 && outputs[e.v] == 1);
+  }
+}
+
+TEST(FastSleepingMisTest, WorstAwakeIsLogarithmicNotLinear) {
+  // Lemma 15: worst-case awake O(log n): depth O(log log n) frames plus
+  // one O(log n) base case.
+  const VertexId n = 512;
+  Rng rng(4);
+  const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
+  auto [metrics, outputs] = run_on(g, 6);
+  EXPECT_LE(metrics.worst_awake(), 120u);  // ~ c log n, far below n
+}
+
+TEST(FastSleepingMisTest, SingleNode) {
+  const Graph g = gen::empty(1);
+  auto [metrics, outputs] = run_on(g, 1);
+  EXPECT_EQ(outputs[0], 1);
+}
+
+TEST(FastSleepingMisTest, TwoNodesOneWins) {
+  const Graph g = gen::path(2);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto [metrics, outputs] = run_on(g, seed);
+    EXPECT_EQ(outputs[0] + outputs[1], 1) << seed;
+  }
+}
+
+TEST(FastSleepingMisTest, DeterministicGivenSeed) {
+  Rng rng(5);
+  const Graph g = gen::gnp_avg_degree(64, 6.0, rng);
+  auto a = run_on(g, 88);
+  auto b = run_on(g, 88);
+  EXPECT_EQ(a.outputs, b.outputs);
+}
+
+TEST(FastSleepingMisTest, CongestBudgetRespected) {
+  Rng rng(6);
+  const Graph g = gen::gnp_avg_degree(128, 8.0, rng);
+  auto [metrics, outputs] = run_on(g, 2);
+  EXPECT_EQ(metrics.congest_violations, 0u);
+}
+
+TEST(FastSleepingMisTest, BaseRanksRecorded) {
+  Rng rng(7);
+  const Graph g = gen::gnp_avg_degree(32, 4.0, rng);
+  RecursionTrace trace;
+  run_on(g, 3, &trace);
+  ASSERT_EQ(trace.base_rank.size(), 32u);
+  // Ranks fit the declared bit width.
+  const std::uint64_t limit = 1ULL << greedy_rank_bits(32);
+  for (std::uint64_t r : trace.base_rank) EXPECT_LT(r, limit);
+}
+
+}  // namespace
+}  // namespace slumber::core

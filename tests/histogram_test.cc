@@ -1,0 +1,83 @@
+// Tests for the fixed-width histogram used by the distributional
+// experiments (E17).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/histogram.h"
+
+namespace slumber::analysis {
+namespace {
+
+TEST(HistogramTest, RejectsDegenerateShape) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, -1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h(0.0, 1.0, 4);  // bins [0,1) [1,2) [2,3) [3,inf)
+  h.add(0.0);
+  h.add(0.99);
+  h.add(1.0);
+  h.add(2.5);
+  h.add(17.0);   // clamps to last bin
+  h.add(-3.0);   // clamps to first bin
+  EXPECT_EQ(h.count(0), 3u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(3.0, 2.5, 3);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 5.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 8.0);
+}
+
+TEST(HistogramTest, FractionsSumToOne) {
+  Histogram h(0.0, 1.0, 10);
+  const std::vector<double> values = {0.5, 1.5, 1.7, 3.2, 9.9, 12.0};
+  h.add_all(values);
+  double sum = 0.0;
+  for (std::size_t bin = 0; bin < h.num_bins(); ++bin) {
+    sum += h.fraction(bin);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.tail_at_least(0.0), 0.0);
+}
+
+TEST(HistogramTest, TailProbabilities) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);  // one per bin
+  EXPECT_NEAR(h.tail_at_least(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(h.tail_at_least(5.0), 0.5, 1e-12);
+  EXPECT_NEAR(h.tail_at_least(9.0), 0.1, 1e-12);
+  EXPECT_NEAR(h.tail_at_least(100.0), 0.0, 1e-12);
+}
+
+TEST(HistogramTest, RenderElidesTinyBinsAndScalesBars) {
+  Histogram h(0.0, 1.0, 3);
+  for (int i = 0; i < 98; ++i) h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string out = h.render("value");
+  // Dominant bin gets the max-width bar.
+  EXPECT_NE(out.find(std::string(52, '#')), std::string::npos);
+  // 2% bin survives the default 0.2% cutoff.
+  EXPECT_NE(out.find("0.0200"), std::string::npos);
+  // Empty bin 2 is elided: only header + 2 data rows + separator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace slumber::analysis

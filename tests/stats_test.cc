@@ -1,0 +1,108 @@
+// Tests for the statistics helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "analysis/table.h"
+
+namespace slumber::analysis {
+namespace {
+
+TEST(StatsTest, SummaryBasics) {
+  const std::vector<double> values = {1, 2, 3, 4, 5};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_GT(s.ci95, 0.0);
+}
+
+TEST(StatsTest, SummaryEmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const std::vector<double> one = {7.0};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+}
+
+TEST(StatsTest, LinearFitExact) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {3, 5, 7, 9};  // y = 1 + 2x
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(StatsTest, LinearFitDegenerate) {
+  const std::vector<double> x = {2, 2, 2};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(linear_fit(x, y).slope, 0.0);
+  EXPECT_DOUBLE_EQ(linear_fit({}, {}).slope, 0.0);
+}
+
+TEST(StatsTest, PowerFitRecoversExponent) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 2; v <= 1024; v *= 2) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v * v);  // y = 3 x^3
+  }
+  const LinearFit fit = power_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);       // exponent
+  EXPECT_NEAR(fit.intercept, std::log2(3.0), 1e-9);
+}
+
+TEST(StatsTest, LogFitDetectsConstantVsLogGrowth) {
+  std::vector<double> x;
+  std::vector<double> constant;
+  std::vector<double> logarithmic;
+  for (double v = 4; v <= 4096; v *= 2) {
+    x.push_back(v);
+    constant.push_back(5.0);
+    logarithmic.push_back(2.0 * std::log2(v) + 1.0);
+  }
+  EXPECT_NEAR(log_fit(x, constant).slope, 0.0, 1e-12);
+  EXPECT_NEAR(log_fit(x, logarithmic).slope, 2.0, 1e-9);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> values = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 25.0);
+}
+
+TEST(StatsTest, MeanCiString) {
+  const std::vector<double> values = {1, 1, 1};
+  EXPECT_EQ(mean_ci_string(summarize(values)), "1.00 +- 0.00");
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(text.find("|-------|-------|"), std::string::npos);
+}
+
+TEST(TableTest, RejectsArityMismatch) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace slumber::analysis

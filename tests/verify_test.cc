@@ -1,0 +1,70 @@
+// Tests for the MIS / coloring verifiers themselves.
+#include <gtest/gtest.h>
+
+#include "analysis/verify.h"
+#include "graph/generators.h"
+
+namespace slumber::analysis {
+namespace {
+
+TEST(VerifyTest, AcceptsValidMis) {
+  const Graph g = gen::path(4);
+  const std::vector<std::int64_t> outputs = {1, 0, 1, 0};
+  const MisCheck check = check_mis(g, outputs);
+  EXPECT_TRUE(check.ok());
+  EXPECT_EQ(check.describe(), "valid MIS");
+}
+
+TEST(VerifyTest, RejectsAdjacentPair) {
+  const Graph g = gen::path(3);
+  const std::vector<std::int64_t> outputs = {1, 1, 0};
+  const MisCheck check = check_mis(g, outputs);
+  EXPECT_FALSE(check.is_independent);
+  EXPECT_NE(check.describe().find("not-independent"), std::string::npos);
+}
+
+TEST(VerifyTest, RejectsNonMaximal) {
+  const Graph g = gen::path(5);
+  const std::vector<std::int64_t> outputs = {1, 0, 0, 0, 1};
+  const MisCheck check = check_mis(g, outputs);
+  EXPECT_TRUE(check.is_independent);
+  EXPECT_FALSE(check.is_maximal);  // vertex 2 undominated
+}
+
+TEST(VerifyTest, RejectsUndecided) {
+  const Graph g = gen::path(2);
+  const std::vector<std::int64_t> outputs = {1, -1};
+  const MisCheck check = check_mis(g, outputs);
+  EXPECT_FALSE(check.all_decided);
+  EXPECT_FALSE(check.ok());
+}
+
+TEST(VerifyTest, EmptyGraphEmptySetIsMis) {
+  const Graph g = gen::empty(0);
+  EXPECT_TRUE(check_mis(g, {}).ok());
+}
+
+TEST(VerifyTest, IndicatorVariantAgrees) {
+  const Graph g = gen::cycle(6);
+  const std::vector<std::uint8_t> in_mis = {1, 0, 1, 0, 1, 0};
+  EXPECT_TRUE(check_mis_indicator(g, in_mis).ok());
+  const std::vector<std::uint8_t> bad = {1, 1, 0, 0, 0, 0};
+  EXPECT_FALSE(check_mis_indicator(g, bad).is_independent);
+}
+
+TEST(VerifyTest, ColoringChecks) {
+  const Graph g = gen::path(3);
+  EXPECT_TRUE(check_coloring(g, {0, 1, 0}));
+  EXPECT_FALSE(check_coloring(g, {0, 0, 1}));   // adjacent same color
+  EXPECT_FALSE(check_coloring(g, {0, 5, 0}));   // out of palette (deg+1)
+  EXPECT_FALSE(check_coloring(g, {0, -1, 0}));  // negative
+}
+
+TEST(VerifyTest, MisVerticesExtractsSet) {
+  const std::vector<std::int64_t> outputs = {1, 0, 0, 1, 1};
+  const auto vertices = mis_vertices(outputs);
+  EXPECT_EQ(vertices, (std::vector<VertexId>{0, 3, 4}));
+}
+
+}  // namespace
+}  // namespace slumber::analysis

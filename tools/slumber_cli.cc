@@ -1,0 +1,348 @@
+// slumber -- command-line front end to the library.
+//
+//   slumber families
+//       List the built-in graph families.
+//   slumber engines
+//       List the MIS engines.
+//   slumber run <engine> <family> <n> [seed]
+//       Run one engine on one graph; print the four complexity
+//       measures, verification result, and energy estimate.
+//   slumber sweep <engine> <family> <max_n> [seeds]
+//       Scaling sweep (n = 64, 256, ..., max_n).
+//   slumber tree <levels>
+//       Print the recursion tree with the paper's Figure-1 labels.
+//   slumber graph <family> <n> <seed> [dot]
+//       Emit the graph as an edge list (or Graphviz DOT).
+//   slumber trace <engine> <family> <n> <seed>
+//       Run with event tracing and dump the last 60 events.
+//   slumber matching <engine> <family> <n> [seed]
+//       Maximal matching via MIS on the line graph.
+//   slumber edge-color <family> <n> [seed]
+//       (2*Delta-1)-edge-coloring via the line-graph reduction.
+//   slumber ruling-set <engine> <family> <n> <k> [seed]
+//       (k+1, k)-ruling set via MIS on the graph power G^k.
+//   slumber beep <family> <n> [seed]
+//       Beeping-model MIS (1-bit messages, everyone awake).
+//   slumber leader <family> <n> [seed]
+//       Flood-max leader election with decision-instant accounting.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "algos/beeping_mis.h"
+#include "algos/edge_coloring.h"
+#include "algos/leader_election.h"
+#include "algos/matching.h"
+#include "algos/ruling_set.h"
+#include "analysis/experiment.h"
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "analysis/verify.h"
+#include "core/schedule.h"
+#include "core/sleeping_mis.h"
+#include "core/fast_sleeping_mis.h"
+#include "energy/energy.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/properties.h"
+#include "sim/network.h"
+#include "sim/trace.h"
+
+namespace {
+
+using namespace slumber;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  slumber families\n"
+      "  slumber engines\n"
+      "  slumber run <engine> <family> <n> [seed]\n"
+      "  slumber sweep <engine> <family> <max_n> [seeds]\n"
+      "  slumber tree <levels>\n"
+      "  slumber graph <family> <n> <seed> [dot]\n"
+      "  slumber trace <engine> <family> <n> <seed>\n"
+      "  slumber matching <engine> <family> <n> [seed]\n"
+      "  slumber edge-color <family> <n> [seed]\n"
+      "  slumber ruling-set <engine> <family> <n> <k> [seed]\n"
+      "  slumber beep <family> <n> [seed]\n"
+      "  slumber leader <family> <n> [seed]\n";
+  return 2;
+}
+
+bool parse_family(const std::string& name, gen::Family* out) {
+  for (const gen::Family family : gen::all_families()) {
+    if (gen::family_name(family) == name) {
+      *out = family;
+      return true;
+    }
+  }
+  return false;
+}
+
+int cmd_families() {
+  for (const gen::Family family : gen::all_families()) {
+    std::cout << gen::family_name(family) << "\n";
+  }
+  return 0;
+}
+
+int cmd_engines() {
+  for (const auto engine : analysis::all_engines()) {
+    std::cout << analysis::engine_name(engine) << "\n";
+  }
+  std::cout << "(aliases: sleeping fast luby-a luby-b greedy ghaffari)\n";
+  return 0;
+}
+
+int cmd_run(const analysis::MisEngine engine, const gen::Family family,
+            const VertexId n, const std::uint64_t seed) {
+  const Graph g = gen::make(family, n, seed);
+  const auto bounds = arboricity_bounds(g);
+  std::cout << "graph: " << g.summary() << " (" << gen::family_name(family)
+            << ", arboricity in [" << bounds.lower << ", " << bounds.upper
+            << "])\n";
+  const auto run = analysis::run_mis(engine, g, seed);
+  std::cout << "engine: " << analysis::engine_name(engine) << "\n"
+            << "verify: " << analysis::check_mis(g, run.outputs).describe()
+            << "\n"
+            << "MIS size: " << run.mis_size << "\n\n";
+  analysis::Table table({"measure", "value", "paper bound (sleeping algs)"});
+  table.add_row({"node-averaged awake", analysis::Table::num(run.node_avg_awake),
+                 "O(1)"});
+  table.add_row({"worst-case awake", analysis::Table::num(run.worst_awake),
+                 "O(log n)"});
+  table.add_row({"worst-case rounds", analysis::Table::num(run.worst_rounds),
+                 "3n^3 (Alg1) / log^3.41 n (Alg2)"});
+  table.add_row({"node-averaged rounds",
+                 analysis::Table::num(run.node_avg_rounds), "same as above"});
+  table.add_row({"messages delivered",
+                 analysis::Table::num(run.total_messages), "-"});
+  std::cout << table.render();
+  const auto report =
+      energy::evaluate(energy::EnergyModel::idealized(), run.metrics);
+  std::cout << "\nenergy (idealized sleep=0): mean "
+            << analysis::Table::num(report.mean_mj, 3) << " mJ, max "
+            << analysis::Table::num(report.max_mj, 3) << " mJ\n";
+  return run.valid ? 0 : 1;
+}
+
+int cmd_sweep(const analysis::MisEngine engine, const gen::Family family,
+              const VertexId max_n, const std::uint32_t seeds) {
+  analysis::Table table({"n", "node-avg awake", "worst awake", "worst rounds",
+                         "invalid"});
+  std::vector<double> ns;
+  std::vector<double> awake;
+  for (VertexId n = 64; n <= max_n; n *= 4) {
+    const auto agg = analysis::aggregate_mis(
+        engine,
+        [&](std::uint64_t seed) { return gen::make(family, n, seed); },
+        7 * n, seeds);
+    ns.push_back(n);
+    awake.push_back(agg.node_avg_awake_mean);
+    table.add_row({analysis::Table::num(std::uint64_t{n}),
+                   analysis::Table::num(agg.node_avg_awake_mean),
+                   analysis::Table::num(agg.worst_awake_mean, 1),
+                   analysis::Table::num(agg.worst_rounds_mean, 0),
+                   analysis::Table::num(agg.invalid_runs)});
+  }
+  std::cout << table.render();
+  std::cout << "awake-average slope vs log2 n: "
+            << analysis::Table::num(analysis::log_fit(ns, awake).slope, 3)
+            << "\n";
+  return 0;
+}
+
+int cmd_tree(const std::uint32_t levels) {
+  std::cout << core::render_tree(core::figure1_tree(levels));
+  std::cout << "T(k) durations: ";
+  for (std::uint32_t k = 0; k <= levels; ++k) {
+    std::cout << "T(" << k << ")=" << core::schedule_duration(k) << " ";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_graph(const gen::Family family, const VertexId n,
+              const std::uint64_t seed, const bool dot) {
+  const Graph g = gen::make(family, n, seed);
+  if (dot) {
+    io::write_dot(std::cout, g);
+  } else {
+    io::write_edge_list(std::cout, g);
+  }
+  return 0;
+}
+
+int cmd_trace(const analysis::MisEngine engine, const gen::Family family,
+              const VertexId n, const std::uint64_t seed) {
+  const Graph g = gen::make(family, n, seed);
+  sim::RingTrace trace(60);
+  sim::NetworkOptions options;
+  options.max_message_bits = sim::congest_bits_for(g.num_vertices());
+  options.trace = &trace;
+  sim::Protocol protocol;
+  switch (engine) {
+    case analysis::MisEngine::kSleeping:
+      protocol = core::sleeping_mis();
+      break;
+    case analysis::MisEngine::kFastSleeping:
+      protocol = core::fast_sleeping_mis();
+      break;
+    default:
+      std::cerr << "trace: only the sleeping engines are supported\n";
+      return 2;
+  }
+  auto [metrics, outputs] = sim::run_protocol(g, seed, protocol, options);
+  std::cout << trace.render();
+  std::cout << "total events: " << trace.total_events()
+            << ", makespan: " << metrics.makespan << "\n";
+  return 0;
+}
+
+int cmd_matching(const analysis::MisEngine engine, const gen::Family family,
+                 const VertexId n, const std::uint64_t seed) {
+  const Graph g = gen::make(family, n, seed);
+  std::cout << "graph: " << g.summary() << ", line graph n = "
+            << g.num_edges() << "\n";
+  const auto result = algos::maximal_matching_via_mis(g, seed, engine);
+  const bool valid = algos::is_maximal_matching(g, result.matched_edges);
+  std::cout << "engine: " << analysis::engine_name(engine) << "\n"
+            << "matched edges: " << result.matched_edges.size() << " of "
+            << g.num_edges() << "\n"
+            << "valid maximal matching: " << (valid ? "yes" : "NO") << "\n"
+            << "node-avg awake on L(G): "
+            << analysis::Table::num(result.line_graph_metrics.node_avg_awake())
+            << ", makespan " << result.line_graph_metrics.makespan << "\n";
+  return valid ? 0 : 1;
+}
+
+int cmd_edge_color(const gen::Family family, const VertexId n,
+                   const std::uint64_t seed) {
+  const Graph g = gen::make(family, n, seed);
+  const auto result = algos::edge_coloring_via_line_graph(g, seed);
+  const bool valid = algos::check_edge_coloring(g, result.colors);
+  std::cout << "graph: " << g.summary() << "\n"
+            << "colors used: " << result.colors_used << " (bound 2*Delta-1 = "
+            << (g.max_degree() > 0 ? 2 * g.max_degree() - 1 : 0) << ")\n"
+            << "valid proper edge coloring: " << (valid ? "yes" : "NO")
+            << "\n";
+  return valid ? 0 : 1;
+}
+
+int cmd_ruling_set(const analysis::MisEngine engine, const gen::Family family,
+                   const VertexId n, const std::uint32_t k,
+                   const std::uint64_t seed) {
+  const Graph g = gen::make(family, n, seed);
+  const auto result = algos::ruling_set_via_mis(g, k, seed, engine);
+  const auto check = algos::check_ruling_set(g, result.rulers, k + 1, k);
+  std::cout << "graph: " << g.summary() << ", power G^" << k << "\n"
+            << "rulers: " << result.rulers.size() << "\n"
+            << "(" << k + 1 << "," << k
+            << ")-ruling set valid: " << (check.ok() ? "yes" : "NO")
+            << " (independent=" << check.independent
+            << " dominating=" << check.dominating << ")\n"
+            << "node-avg awake on G^" << k << ": "
+            << analysis::Table::num(
+                   result.power_graph_metrics.node_avg_awake())
+            << "\n";
+  return check.ok() ? 0 : 1;
+}
+
+int cmd_beep(const gen::Family family, const VertexId n,
+             const std::uint64_t seed) {
+  const Graph g = gen::make(family, n, seed);
+  sim::NetworkOptions options;
+  options.max_message_bits = 1;
+  auto [metrics, outputs] =
+      sim::run_protocol(g, seed, algos::beeping_mis(), options);
+  const auto check = analysis::check_mis(g, outputs);
+  std::cout << "graph: " << g.summary() << "\n"
+            << "verify: " << check.describe() << "\n"
+            << "node-avg awake: "
+            << analysis::Table::num(metrics.node_avg_awake())
+            << " (all slots; beeping has no sleeping)\n"
+            << "max message bits: " << metrics.max_message_bits_seen
+            << " (1-bit beeps)\n";
+  return check.ok() ? 0 : 1;
+}
+
+int cmd_leader(const gen::Family family, const VertexId n,
+               const std::uint64_t seed) {
+  const Graph g = gen::make(family, n, seed);
+  if (!is_connected(g)) {
+    std::cerr << "leader: graph is disconnected; one leader per component\n";
+  }
+  auto [metrics, outputs] =
+      sim::run_protocol(g, seed, algos::flood_max_leader_election());
+  VertexId leader = kInvalidVertex;
+  std::uint64_t leaders = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (outputs[v] == 1) {
+      leader = v;
+      ++leaders;
+    }
+  }
+  std::cout << "graph: " << g.summary() << "\n"
+            << "leaders: " << leaders << " (node " << leader << ")\n"
+            << "node-avg decided round (Feuilloley): "
+            << analysis::Table::num(metrics.node_avg_decided())
+            << ", termination: " << metrics.worst_finish() << " rounds\n";
+  return leaders >= 1 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "families") return cmd_families();
+  if (command == "engines") return cmd_engines();
+  if (command == "tree") {
+    if (argc < 3) return usage();
+    return cmd_tree(static_cast<std::uint32_t>(std::atoi(argv[2])));
+  }
+  if (command == "graph") {
+    if (argc < 5) return usage();
+    gen::Family family;
+    if (!parse_family(argv[2], &family)) return usage();
+    return cmd_graph(family, static_cast<VertexId>(std::atoi(argv[3])),
+                     static_cast<std::uint64_t>(std::atoll(argv[4])),
+                     argc > 5 && std::string(argv[5]) == "dot");
+  }
+  if (command == "edge-color" || command == "beep" || command == "leader") {
+    if (argc < 4) return usage();
+    gen::Family family;
+    if (!parse_family(argv[2], &family)) return usage();
+    const auto n = static_cast<VertexId>(std::atoi(argv[3]));
+    const std::uint64_t seed =
+        argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+    if (command == "edge-color") return cmd_edge_color(family, n, seed);
+    if (command == "beep") return cmd_beep(family, n, seed);
+    return cmd_leader(family, n, seed);
+  }
+  // Remaining commands share <engine> <family> <n> [arg4].
+  if (argc < 5) return usage();
+  analysis::MisEngine engine;
+  gen::Family family;
+  if (!analysis::engine_from_name(argv[2], &engine) ||
+      !parse_family(argv[3], &family)) {
+    return usage();
+  }
+  const auto n = static_cast<VertexId>(std::atoi(argv[4]));
+  const std::uint64_t arg5 =
+      argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5])) : 1;
+  if (command == "run") return cmd_run(engine, family, n, arg5);
+  if (command == "sweep") {
+    return cmd_sweep(engine, family, n, static_cast<std::uint32_t>(arg5 > 1 ? arg5 : 3));
+  }
+  if (command == "trace") return cmd_trace(engine, family, n, arg5);
+  if (command == "matching") return cmd_matching(engine, family, n, arg5);
+  if (command == "ruling-set") {
+    const std::uint64_t seed =
+        argc > 6 ? static_cast<std::uint64_t>(std::atoll(argv[6])) : 1;
+    return cmd_ruling_set(engine, family, n,
+                          static_cast<std::uint32_t>(arg5), seed);
+  }
+  return usage();
+}
