@@ -149,7 +149,9 @@ TEST(GeneratorsTest, RandomGeometricRespectsRadius) {
     for (VertexId v = u + 1; v < 50; ++v) {
       const double dx = coords[u].first - coords[v].first;
       const double dy = coords[u].second - coords[v].second;
-      if (dx * dx + dy * dy <= 0.15 * 0.15) EXPECT_TRUE(g.has_edge(u, v));
+      if (dx * dx + dy * dy <= 0.15 * 0.15) {
+        EXPECT_TRUE(g.has_edge(u, v));
+      }
     }
   }
 }

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Runs every standalone benchmark binary and emits a machine-readable
+# JSON baseline for the perf trajectory (BENCH_*.json).
+#
+# Usage: tools/run_bench.sh [BUILD_DIR] [OUT_JSON]
+#   BUILD_DIR  cmake build directory (default: build)
+#   OUT_JSON   output path (default: BENCH_baseline.json in the repo root)
+#
+# Each standalone bench (plain main(), prints a table) is timed
+# wall-clock and its exit status recorded. bench_sim_micro is a
+# google-benchmark binary with its own timing loop and is skipped here;
+# run it directly for microbenchmark numbers.
+set -u -o pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out_json=${2:-"$repo_root/BENCH_baseline.json"}
+bench_dir="$build_dir/bench"
+
+if [[ ! -d "$bench_dir" ]]; then
+  echo "error: $bench_dir not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+# Millisecond timestamps need GNU date (%N); BSD/macOS date prints the
+# format characters literally, so fall back to second resolution there.
+if [[ "$(date +%3N)" =~ ^[0-9]{3}$ ]]; then
+  now_ms() { date +%s%3N; }
+else
+  now_ms() { echo $(( $(date +%s) * 1000 )); }
+fi
+
+entries=()
+failures=0
+for bench in "$bench_dir"/bench_*; do
+  [[ -x "$bench" && -f "$bench" ]] || continue
+  name=$(basename "$bench")
+  if [[ "$name" == "bench_sim_micro" ]]; then
+    continue  # google-benchmark binary; has its own timing loop
+  fi
+  log="$build_dir/bench/$name.out"
+  start=$(now_ms)
+  if "$bench" > "$log" 2>&1; then
+    status="ok"
+  else
+    status="failed"
+    failures=$((failures + 1))
+  fi
+  end=$(now_ms)
+  wall_ms=$((end - start))
+  echo "  $name: $status (${wall_ms} ms)"
+  entries+=("    {\"name\": \"$name\", \"status\": \"$status\", \"wall_ms\": $wall_ms}")
+done
+
+if [[ ${#entries[@]} -eq 0 ]]; then
+  echo "error: no bench_* binaries found in $bench_dir" >&2
+  exit 1
+fi
+
+{
+  echo "{"
+  echo "  \"schema\": \"slumber-bench-v1\","
+  echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"host\": \"$(uname -srm)\","
+  echo "  \"git_rev\": \"$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+  echo "  \"benches\": ["
+  for i in "${!entries[@]}"; do
+    if (( i + 1 < ${#entries[@]} )); then
+      printf '%s,\n' "${entries[$i]}"
+    else
+      printf '%s\n' "${entries[$i]}"
+    fi
+  done
+  echo "  ]"
+  echo "}"
+} > "$out_json"
+
+echo "wrote $out_json (${#entries[@]} benches, $failures failed)"
+exit $(( failures > 0 ? 1 : 0 ))
