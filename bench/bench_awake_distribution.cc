@@ -9,9 +9,11 @@
 //   * concentration of the *average* A across seeds (its ci shrinks
 //     with n: A is an average of n weakly-dependent variables).
 #include <cmath>
+#include <cstddef>
 #include <iostream>
 #include <map>
 
+#include "analysis/parallel.h"
 #include "analysis/stats.h"
 #include "analysis/table.h"
 #include "core/sleeping_mis.h"
@@ -20,7 +22,19 @@
 
 namespace {
 using namespace slumber;
+
+// One seeded SleepingMIS run; every section below is a different
+// reduction over the per-node metrics, so the trials return the full
+// Metrics and the (deterministic, seed-ordered) merges happen after the
+// parallel batch.
+sim::Metrics run_sleeping(VertexId n, std::uint64_t graph_seed,
+                          std::uint64_t run_seed) {
+  Rng rng(graph_seed);
+  const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
+  sim::Network net(g, run_seed);
+  return net.run(core::sleeping_mis());
 }
+}  // namespace
 
 int main() {
   std::cout << analysis::banner(
@@ -29,13 +43,12 @@ int main() {
   // Histogram at n = 1024 over 10 seeds.
   {
     const VertexId n = 1024;
+    const auto runs = analysis::parallel_trials(10, 0, [&](std::size_t s) {
+      return run_sleeping(n, 60 + s, 90 + s);
+    });
     std::map<std::uint64_t, std::uint64_t> histogram;
     std::uint64_t samples = 0;
-    for (std::uint32_t s = 0; s < 10; ++s) {
-      Rng rng(60 + s);
-      const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
-      sim::Network net(g, 90 + s);
-      const sim::Metrics& metrics = net.run(core::sleeping_mis());
+    for (const sim::Metrics& metrics : runs) {
       for (const auto& m : metrics.node) {
         ++histogram[m.awake_rounds];
         ++samples;
@@ -62,11 +75,10 @@ int main() {
     for (const VertexId n : {256u, 1024u, 4096u}) {
       std::vector<std::uint64_t> tail(5, 0);
       std::uint64_t samples = 0;
-      for (std::uint32_t s = 0; s < 5; ++s) {
-        Rng rng(n + s);
-        const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
-        sim::Network net(g, 3 * n + s);
-        const sim::Metrics& metrics = net.run(core::sleeping_mis());
+      const auto runs = analysis::parallel_trials(5, 0, [&](std::size_t s) {
+        return run_sleeping(n, n + s, 3 * n + s);
+      });
+      for (const sim::Metrics& metrics : runs) {
         for (const auto& m : metrics.node) {
           ++samples;
           for (int t = 1; t <= 4; ++t) {
@@ -95,13 +107,10 @@ int main() {
     analysis::Table table({"n", "mean of A over 20 seeds", "stddev of A",
                            "max A seen"});
     for (const VertexId n : {64u, 512u, 4096u}) {
-      std::vector<double> averages;
-      for (std::uint32_t s = 0; s < 20; ++s) {
-        Rng rng(7 * n + s);
-        const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
-        sim::Network net(g, 11 * n + s);
-        averages.push_back(net.run(core::sleeping_mis()).node_avg_awake());
-      }
+      const std::vector<double> averages =
+          analysis::parallel_trials(20, 0, [&](std::size_t s) {
+            return run_sleeping(n, 7 * n + s, 11 * n + s).node_avg_awake();
+          });
       const auto summary = analysis::summarize(averages);
       table.add_row({analysis::Table::num(std::uint64_t{n}),
                      analysis::Table::num(summary.mean, 3),

@@ -8,6 +8,7 @@
 
 #include "analysis/csv.h"
 #include "analysis/experiment.h"
+#include "analysis/parallel.h"
 #include "analysis/stats.h"
 #include "analysis/table.h"
 #include "graph/generators.h"
@@ -32,19 +33,34 @@ int main() {
   }
   analysis::Table table(header);
 
+  // One flat trial list over (n, engine, seed): sharding all cells at
+  // once keeps every core busy even when a cell has few seeds. Each
+  // trial's seed matches what aggregate_mis would use for its cell, and
+  // the per-cell reduction below runs in trial order, so the numbers are
+  // bitwise identical to the serial per-cell path.
+  const std::vector<MisEngine> engines = analysis::all_engines();
+  const std::size_t num_trials = sizes.size() * engines.size() * kSeeds;
+  const auto runs = analysis::parallel_trials(
+      num_trials, 0, [&](std::size_t t) {
+        const VertexId n = sizes[t / (engines.size() * kSeeds)];
+        const MisEngine engine = engines[(t / kSeeds) % engines.size()];
+        const std::uint64_t seed = analysis::trial_seed(
+            31 * n, static_cast<std::uint32_t>(t % kSeeds));
+        Rng rng(seed);
+        const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
+        return analysis::run_mis(engine, g, seed);
+      });
+
   std::map<MisEngine, std::vector<double>> series;
   std::vector<double> ns;
+  std::size_t cursor = 0;
   for (const VertexId n : sizes) {
     ns.push_back(n);
     std::vector<std::string> row = {analysis::Table::num(std::uint64_t{n})};
-    for (const MisEngine engine : analysis::all_engines()) {
-      const auto agg = analysis::aggregate_mis(
-          engine,
-          [n](std::uint64_t seed) {
-            Rng rng(seed);
-            return gen::gnp_avg_degree(n, 8.0, rng);
-          },
-          31 * n, kSeeds);
+    for (const MisEngine engine : engines) {
+      const auto agg =
+          analysis::aggregate_runs(&runs[cursor], &runs[cursor] + kSeeds);
+      cursor += kSeeds;
       series[engine].push_back(agg.node_avg_awake_mean);
       row.push_back(analysis::Table::num(agg.node_avg_awake_mean));
     }

@@ -4,12 +4,19 @@
 // SleepingMIS gives O(1) node-averaged awake complexity *on the line
 // graph* while the traditional engines pay Theta(log m). Every run is
 // verified with the matching checker on the original graph.
+//
+// All (row, seed) trials are independent, so they run as one flat batch
+// on the parallel trial runner; per-row sums happen afterwards in seed
+// order, making the table bitwise identical to the serial loop.
 #include <cmath>
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
 #include "algos/israeli_itai.h"
 #include "algos/matching.h"
 #include "analysis/experiment.h"
+#include "analysis/parallel.h"
 #include "analysis/stats.h"
 #include "analysis/table.h"
 #include "graph/generators.h"
@@ -17,6 +24,59 @@
 namespace {
 using namespace slumber;
 using algos::MisEngine;
+
+constexpr std::uint32_t kSeeds = 5;
+
+// One table row: either the direct Israeli-Itai protocol on G or one
+// MIS engine on the line graph L(G).
+struct RowSpec {
+  VertexId n = 0;
+  bool direct = false;
+  MisEngine engine{};
+};
+
+struct TrialResult {
+  double awake = 0.0;
+  double worst = 0.0;
+  double matched = 0.0;
+  double line_n = 0.0;
+  bool valid = false;
+};
+
+Graph make_geometric(VertexId n, std::uint32_t s) {
+  Rng rng(n * 7 + s);
+  // Radius ~ sqrt(12/n) keeps the expected degree near 12.
+  return gen::random_geometric(n, std::sqrt(12.0 / (3.14159 * n)) * 1.77,
+                               rng);
+}
+
+TrialResult run_trial(const RowSpec& row, std::uint32_t s) {
+  TrialResult result;
+  const Graph g = make_geometric(row.n, s);
+  if (row.direct) {
+    sim::NetworkOptions options;
+    options.max_message_bits = sim::congest_bits_for(row.n);
+    auto [metrics, outputs] = sim::run_protocol(
+        g, row.n + 31 * s, algos::israeli_itai_matching(), options);
+    const auto matched = algos::matching_from_outputs(g, outputs);
+    result.valid = matched.has_value() &&
+                   algos::is_maximal_matching(g, *matched);
+    result.awake = metrics.node_avg_awake();
+    result.worst = static_cast<double>(metrics.worst_awake());
+    result.matched = matched ? static_cast<double>(matched->size()) : 0.0;
+  } else {
+    const auto mis_result =
+        algos::maximal_matching_via_mis(g, row.n + 31 * s, row.engine);
+    result.valid = algos::is_maximal_matching(g, mis_result.matched_edges);
+    result.awake = mis_result.line_graph_metrics.node_avg_awake();
+    result.worst =
+        static_cast<double>(mis_result.line_graph_metrics.worst_awake());
+    result.matched = static_cast<double>(mis_result.matched_edges.size());
+    result.line_n = static_cast<double>(g.num_edges());
+  }
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -24,76 +84,56 @@ int main() {
       "E18 / maximal matching via MIS on L(G), unit-disk sensor graphs, "
       "5 seeds per cell: node-averaged awake rounds on L(G)");
 
-  const std::uint32_t seeds = 5;
-  analysis::Table table({"n (G)", "m = n(L)", "engine", "avg awake",
-                         "worst awake", "matched", "valid"});
-
+  std::vector<RowSpec> rows;
   for (const VertexId n : {128u, 512u, 2048u}) {
     // The direct propose-accept protocol first: it runs on G itself, so
     // its awake column is per ORIGINAL node, with O(1)-bit messages.
-    {
-      double awake_total = 0.0;
-      double worst_total = 0.0;
-      double matched_total = 0.0;
-      bool all_valid = true;
-      for (std::uint32_t s = 0; s < seeds; ++s) {
-        Rng rng(n * 7 + s);
-        const Graph g = gen::random_geometric(
-            n, std::sqrt(12.0 / (3.14159 * n)) * 1.77, rng);
-        sim::NetworkOptions options;
-        options.max_message_bits = sim::congest_bits_for(n);
-        auto [metrics, outputs] = sim::run_protocol(
-            g, n + 31 * s, algos::israeli_itai_matching(), options);
-        const auto matched = algos::matching_from_outputs(g, outputs);
-        all_valid = all_valid && matched.has_value() &&
-                    algos::is_maximal_matching(g, *matched);
-        awake_total += metrics.node_avg_awake();
-        worst_total += static_cast<double>(metrics.worst_awake());
-        matched_total +=
-            matched ? static_cast<double>(matched->size()) : 0.0;
-      }
-      if (!all_valid) {
-        std::cerr << "INVALID Israeli-Itai matching at n=" << n << "\n";
-        return 1;
-      }
-      table.add_row({analysis::Table::num(std::uint64_t{n}), "(direct on G)",
-                     "Israeli-Itai", analysis::Table::num(awake_total / seeds),
-                     analysis::Table::num(worst_total / seeds),
-                     analysis::Table::num(matched_total / seeds, 1), "yes"});
-    }
+    rows.push_back({n, true, MisEngine{}});
     for (const MisEngine engine : analysis::all_engines()) {
-      double awake_total = 0.0;
-      double worst_total = 0.0;
-      double matched_total = 0.0;
-      double line_n = 0.0;
-      bool all_valid = true;
-      for (std::uint32_t s = 0; s < seeds; ++s) {
-        Rng rng(n * 7 + s);
-        // Radius ~ sqrt(12/n) keeps the expected degree near 12.
-        const Graph g = gen::random_geometric(
-            n, std::sqrt(12.0 / (3.14159 * n)) * 1.77, rng);
-        const auto result =
-            algos::maximal_matching_via_mis(g, n + 31 * s, engine);
-        all_valid = all_valid &&
-                    algos::is_maximal_matching(g, result.matched_edges);
-        awake_total += result.line_graph_metrics.node_avg_awake();
-        worst_total +=
-            static_cast<double>(result.line_graph_metrics.worst_awake());
-        matched_total += static_cast<double>(result.matched_edges.size());
-        line_n = static_cast<double>(g.num_edges());
-      }
-      if (!all_valid) {
-        std::cerr << "INVALID matching for "
-                  << analysis::engine_name(engine) << " at n=" << n << "\n";
-        return 1;
-      }
-      table.add_row({analysis::Table::num(std::uint64_t{n}),
-                     analysis::Table::num(line_n, 0),
-                     analysis::engine_name(engine),
-                     analysis::Table::num(awake_total / seeds),
-                     analysis::Table::num(worst_total / seeds),
-                     analysis::Table::num(matched_total / seeds, 1), "yes"});
+      rows.push_back({n, false, engine});
     }
+  }
+
+  const auto trials = analysis::parallel_trials(
+      rows.size() * kSeeds, 0, [&](std::size_t t) {
+        return run_trial(rows[t / kSeeds],
+                         static_cast<std::uint32_t>(t % kSeeds));
+      });
+
+  analysis::Table table({"n (G)", "m = n(L)", "engine", "avg awake",
+                         "worst awake", "matched", "valid"});
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const RowSpec& row = rows[r];
+    double awake_total = 0.0;
+    double worst_total = 0.0;
+    double matched_total = 0.0;
+    double line_n = 0.0;
+    bool all_valid = true;
+    for (std::uint32_t s = 0; s < kSeeds; ++s) {
+      const TrialResult& trial = trials[r * kSeeds + s];
+      all_valid = all_valid && trial.valid;
+      awake_total += trial.awake;
+      worst_total += trial.worst;
+      matched_total += trial.matched;
+      line_n = trial.line_n;
+    }
+    if (!all_valid) {
+      if (row.direct) {
+        std::cerr << "INVALID Israeli-Itai matching at n=" << row.n << "\n";
+      } else {
+        std::cerr << "INVALID matching for "
+                  << analysis::engine_name(row.engine) << " at n=" << row.n
+                  << "\n";
+      }
+      return 1;
+    }
+    table.add_row(
+        {analysis::Table::num(std::uint64_t{row.n}),
+         row.direct ? "(direct on G)" : analysis::Table::num(line_n, 0),
+         row.direct ? "Israeli-Itai" : analysis::engine_name(row.engine),
+         analysis::Table::num(awake_total / kSeeds),
+         analysis::Table::num(worst_total / kSeeds),
+         analysis::Table::num(matched_total / kSeeds, 1), "yes"});
   }
   std::cout << table.render();
   std::cout << "\nShape check: the sleeping engines' 'avg awake' column "

@@ -2,15 +2,17 @@
 // of the paper's Table 1 evolve with n for Algorithm 1, Algorithm 2,
 // and Luby's baseline, on a topology of the user's choice?
 //
-//   $ ./scaling_study [family] [max_n]
+//   $ ./scaling_study [family] [max_n] [threads]
 //
 // where family is one of: gnp_sparse (default), cycle, star, grid,
-// lollipop, random_tree, barabasi_albert, unit_disk, ...
+// lollipop, random_tree, barabasi_albert, unit_disk, ...; threads is
+// the trial-runner parallelism (default: all hardware threads).
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "analysis/experiment.h"
+#include "analysis/parallel.h"
 #include "analysis/stats.h"
 #include "analysis/table.h"
 #include "graph/generators.h"
@@ -21,6 +23,10 @@ int main(int argc, char** argv) {
   std::string family_name = argc > 1 ? argv[1] : "gnp_sparse";
   const VertexId max_n =
       argc > 2 ? static_cast<VertexId>(std::atoi(argv[2])) : 2048;
+  if (argc > 3) {
+    analysis::set_default_trial_threads(
+        static_cast<unsigned>(std::atoi(argv[3])));
+  }
 
   gen::Family family = gen::Family::kGnpSparse;
   bool found = false;

@@ -5,6 +5,7 @@
 #include "algos/ghaffari.h"
 #include "algos/greedy.h"
 #include "algos/luby.h"
+#include "analysis/stats.h"
 #include "analysis/verify.h"
 #include "core/fast_sleeping_mis.h"
 #include "core/sleeping_mis.h"
@@ -49,6 +50,39 @@ bool engine_from_name(const std::string& name, MisEngine* out) {
   else if (name == "ghaffari") *out = MisEngine::kGhaffari;
   else return false;
   return true;
+}
+
+AggregateRun aggregate_runs(const MisRun* begin, const MisRun* end) {
+  AggregateRun agg;
+  std::vector<double> avg_awake;
+  std::vector<double> worst_awake;
+  std::vector<double> avg_rounds;
+  std::vector<double> worst_rounds;
+  std::vector<double> messages;
+  for (const MisRun* run = begin; run != end; ++run) {
+    ++agg.runs;
+    if (!run->valid) {
+      ++agg.invalid_runs;
+      continue;
+    }
+    avg_awake.push_back(run->node_avg_awake);
+    worst_awake.push_back(static_cast<double>(run->worst_awake));
+    avg_rounds.push_back(run->node_avg_rounds);
+    worst_rounds.push_back(static_cast<double>(run->worst_rounds));
+    messages.push_back(static_cast<double>(run->total_messages));
+  }
+  const Summary s_avg_awake = summarize(avg_awake);
+  agg.node_avg_awake_mean = s_avg_awake.mean;
+  agg.node_avg_awake_ci95 = s_avg_awake.ci95;
+  agg.worst_awake_mean = summarize(worst_awake).mean;
+  agg.node_avg_rounds_mean = summarize(avg_rounds).mean;
+  agg.worst_rounds_mean = summarize(worst_rounds).mean;
+  agg.messages_mean = summarize(messages).mean;
+  return agg;
+}
+
+AggregateRun aggregate_runs(const std::vector<MisRun>& runs) {
+  return aggregate_runs(runs.data(), runs.data() + runs.size());
 }
 
 MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,

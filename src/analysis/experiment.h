@@ -12,6 +12,7 @@
 #include "core/instrumentation.h"
 #include "graph/graph.h"
 #include "sim/metrics.h"
+#include "util/rng.h"
 
 namespace slumber::analysis {
 
@@ -61,11 +62,40 @@ struct AggregateRun {
   std::uint64_t runs = 0;
 };
 
+/// The trial-seed schedule shared by every multi-seed runner: trial i of
+/// a batch keyed by `base_seed` runs with splitmix64(base_seed + i), so
+/// per-trial streams are scrambled across the 64-bit space and —
+/// crucially for the parallel runner — a trial's seed is a pure function
+/// of its index, never of execution order. Batches whose base seeds are
+/// closer together than their trial count share trials; space base seeds
+/// at least num_seeds apart.
+inline std::uint64_t trial_seed(std::uint64_t base_seed, std::uint32_t trial) {
+  std::uint64_t sm = base_seed + trial;
+  return splitmix64(sm);
+}
+
+/// Runs `num_seeds` independent trials of `engine` on graphs produced by
+/// `make_graph` (called with the trial seed), sharded across
+/// `num_threads` lanes (0 = default_trial_threads()). The returned runs
+/// are ordered by trial index and bitwise identical for every thread
+/// count, including the fully serial num_threads = 1.
+template <typename GraphFactory>
+std::vector<MisRun> run_trials(MisEngine engine, const GraphFactory& make_graph,
+                               std::uint64_t base_seed, std::uint32_t num_seeds,
+                               unsigned num_threads = 0);
+
+/// Reduces a trial-ordered run sequence into the seed-averaged measures.
+/// Deterministic: iterates in sequence order.
+AggregateRun aggregate_runs(const MisRun* begin, const MisRun* end);
+AggregateRun aggregate_runs(const std::vector<MisRun>& runs);
+
 /// Runs `engine` `num_seeds` times on graphs produced by `make_graph`
-/// (called with seed) and aggregates. Seeds are base_seed + i.
+/// and aggregates; equivalent to aggregate_runs(run_trials(...)).
+/// Trials are sharded across `num_threads` lanes (0 = default).
 template <typename GraphFactory>
 AggregateRun aggregate_mis(MisEngine engine, const GraphFactory& make_graph,
-                           std::uint64_t base_seed, std::uint32_t num_seeds);
+                           std::uint64_t base_seed, std::uint32_t num_seeds,
+                           unsigned num_threads = 0);
 
 }  // namespace slumber::analysis
 

@@ -2,42 +2,28 @@
 #pragma once
 
 #include "analysis/experiment.h"
-#include "analysis/stats.h"
+#include "analysis/parallel.h"
 
 namespace slumber::analysis {
 
 template <typename GraphFactory>
-AggregateRun aggregate_mis(MisEngine engine, const GraphFactory& make_graph,
-                           std::uint64_t base_seed, std::uint32_t num_seeds) {
-  AggregateRun agg;
-  std::vector<double> avg_awake;
-  std::vector<double> worst_awake;
-  std::vector<double> avg_rounds;
-  std::vector<double> worst_rounds;
-  std::vector<double> messages;
-  for (std::uint32_t i = 0; i < num_seeds; ++i) {
-    const std::uint64_t seed = base_seed + i;
+std::vector<MisRun> run_trials(MisEngine engine, const GraphFactory& make_graph,
+                               std::uint64_t base_seed, std::uint32_t num_seeds,
+                               unsigned num_threads) {
+  return parallel_trials(num_seeds, num_threads, [&](std::size_t i) {
+    const std::uint64_t seed =
+        trial_seed(base_seed, static_cast<std::uint32_t>(i));
     const Graph g = make_graph(seed);
-    const MisRun run = run_mis(engine, g, seed);
-    ++agg.runs;
-    if (!run.valid) {
-      ++agg.invalid_runs;
-      continue;
-    }
-    avg_awake.push_back(run.node_avg_awake);
-    worst_awake.push_back(static_cast<double>(run.worst_awake));
-    avg_rounds.push_back(run.node_avg_rounds);
-    worst_rounds.push_back(static_cast<double>(run.worst_rounds));
-    messages.push_back(static_cast<double>(run.total_messages));
-  }
-  const Summary s_avg_awake = summarize(avg_awake);
-  agg.node_avg_awake_mean = s_avg_awake.mean;
-  agg.node_avg_awake_ci95 = s_avg_awake.ci95;
-  agg.worst_awake_mean = summarize(worst_awake).mean;
-  agg.node_avg_rounds_mean = summarize(avg_rounds).mean;
-  agg.worst_rounds_mean = summarize(worst_rounds).mean;
-  agg.messages_mean = summarize(messages).mean;
-  return agg;
+    return run_mis(engine, g, seed);
+  });
+}
+
+template <typename GraphFactory>
+AggregateRun aggregate_mis(MisEngine engine, const GraphFactory& make_graph,
+                           std::uint64_t base_seed, std::uint32_t num_seeds,
+                           unsigned num_threads) {
+  return aggregate_runs(
+      run_trials(engine, make_graph, base_seed, num_seeds, num_threads));
 }
 
 }  // namespace slumber::analysis

@@ -1,0 +1,26 @@
+#include "analysis/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace slumber::analysis {
+
+namespace {
+std::atomic<unsigned> g_thread_override{0};
+}  // namespace
+
+void set_default_trial_threads(unsigned num_threads) {
+  g_thread_override.store(num_threads, std::memory_order_relaxed);
+}
+
+unsigned default_trial_threads() {
+  const unsigned override = g_thread_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  if (const char* env = std::getenv("SLUMBER_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  return util::ThreadPool::hardware_threads();
+}
+
+}  // namespace slumber::analysis

@@ -1,0 +1,53 @@
+// Deterministic parallel execution of independent seeded trials.
+//
+// Everything in the experiment layer that averages over seeds funnels
+// through parallel_trials(): trial i's work is a pure function of i, the
+// results land in a pre-sized vector slot i, and reductions happen after
+// the implicit barrier in the caller's original order. That makes every
+// result bitwise identical to a serial run regardless of thread count
+// or completion order — the property the determinism tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace slumber::analysis {
+
+/// Lanes of execution used when a caller passes num_threads = 0: the
+/// process-wide override (CLI --threads) if set, else the
+/// SLUMBER_THREADS environment variable if set and positive, else
+/// hardware concurrency.
+unsigned default_trial_threads();
+
+/// Sets the process-wide thread override. 0 restores automatic
+/// selection. Not thread-safe against concurrent trial batches; call it
+/// from startup code (flag parsing), not from inside trials.
+void set_default_trial_threads(unsigned num_threads);
+
+/// Runs fn(i) for every trial index i in [0, num_trials) across
+/// num_threads lanes (0 = default_trial_threads()) and returns the
+/// results ordered by trial index. fn must depend only on i; under that
+/// contract the returned vector is bitwise independent of thread count.
+/// The result type needs a default constructor and move assignment.
+template <typename Fn>
+auto parallel_trials(std::size_t num_trials, unsigned num_threads, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  using Result = std::decay_t<decltype(fn(std::size_t{0}))>;
+  std::vector<Result> results(num_trials);
+  if (num_threads == 0) num_threads = default_trial_threads();
+  // Never spawn more lanes than trials: excess workers would only find
+  // an exhausted cursor and exit.
+  if (static_cast<std::size_t>(num_threads) > num_trials) {
+    num_threads = static_cast<unsigned>(num_trials == 0 ? 1 : num_trials);
+  }
+  util::ThreadPool pool(num_threads);
+  pool.parallel_for_index(num_trials,
+                          [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace slumber::analysis

@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace slumber::util {
+
+unsigned ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = hardware_threads();
+  workers_.reserve(num_threads - 1);
+  for (unsigned i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain_batch(const std::function<void(std::size_t)>& fn) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= num_items_) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+      // Poison the cursor so everyone abandons the batch promptly.
+      next_.store(num_items_, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = job_;
+    }
+    drain_batch(*fn);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--workers_active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_index(
+    std::size_t num_items, const std::function<void(std::size_t)>& fn) {
+  if (num_items == 0) return;
+  if (workers_.empty() || num_items == 1) {
+    // Serial fast path; identical results by the item-index contract.
+    for (std::size_t i = 0; i < num_items; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    num_items_ = num_items;
+    next_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    workers_active_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain_batch(fn);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+    job_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace slumber::util

@@ -1,0 +1,68 @@
+// A small fixed-size fork-join thread pool for embarrassingly parallel
+// trial batches.
+//
+// The pool is deliberately work-stealing-free: one shared atomic cursor
+// hands out item indices, the calling thread participates, and
+// parallel_for_index() blocks until every item is done. Callers must
+// make the work for item i depend only on i (never on claim order or
+// thread identity); under that contract results are deterministic for
+// any pool size, including 1.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slumber::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` total lanes of execution (the
+  /// calling thread counts as one, so `num_threads - 1` workers are
+  /// spawned). 0 means hardware_threads(); 1 means fully serial.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes of execution, including the caller. Always >= 1.
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(i) once for every i in [0, num_items), sharded across the
+  /// pool; the calling thread participates. Blocks until all items are
+  /// done, then rethrows the first exception thrown by fn (remaining
+  /// unclaimed items are abandoned). Not reentrant: fn must not call
+  /// parallel_for_index on the same pool.
+  void parallel_for_index(std::size_t num_items,
+                          const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  static unsigned hardware_threads();
+
+ private:
+  void worker_loop();
+  // Claims and runs items until the batch is exhausted or poisoned.
+  void drain_batch(const std::function<void(std::size_t)>& fn);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals a new batch (generation_)
+  std::condition_variable done_cv_;   // signals workers_active_ == 0
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t num_items_ = 0;
+  std::atomic<std::size_t> next_{0};  // item claim cursor
+  std::size_t workers_active_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace slumber::util

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Per-bench wall-time regression gate for the CI perf trajectory.
+
+Diffs a current bench run (BENCH_ci.json, emitted by tools/run_bench.sh)
+against the committed baseline (BENCH_baseline.json) and fails when any
+bench regressed by more than --max-ratio in wall time. Sub---floor-ms
+deltas are ignored so timer noise on tiny benches can never flake the
+job; benches missing from either side are reported but only a bench
+that *failed* in the current run is fatal on its own.
+
+Usage:
+    tools/compare_bench.py BASELINE.json CURRENT.json \
+        [--max-ratio 1.5] [--floor-ms 100]
+
+Exit status: 0 when clean, 1 on any regression or failed bench, 2 on
+malformed input.
+
+Refreshing the baseline: when a slowdown is intentional (a bench grew a
+workload, say), regenerate with `tools/run_bench.sh build
+BENCH_baseline.json` on a quiet machine and commit the new file with a
+one-line justification in the commit message.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    benches = doc.get("benches")
+    if not isinstance(benches, list):
+        sys.exit(f"error: {path}: missing 'benches' list")
+    by_name = {}
+    for entry in benches:
+        name = entry.get("name")
+        if not name or "wall_ms" not in entry:
+            sys.exit(f"error: {path}: malformed bench entry {entry!r}")
+        by_name[name] = entry
+    return by_name
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail on per-bench wall-time regressions.")
+    parser.add_argument("baseline", help="committed BENCH_baseline.json")
+    parser.add_argument("current", help="fresh BENCH_ci.json to vet")
+    parser.add_argument("--max-ratio", type=float, default=1.5,
+                        help="fail when current > ratio * baseline "
+                             "(default: 1.5)")
+    parser.add_argument("--floor-ms", type=int, default=100,
+                        help="ignore regressions smaller than this many "
+                             "ms in absolute terms (default: 100)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    regressions = []
+    failures = []
+    rows = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if cur is None:
+            rows.append((name, base["wall_ms"], None, "missing (removed?)"))
+            continue
+        if cur.get("status") != "ok":
+            failures.append(name)
+            rows.append((name, base and base["wall_ms"], cur["wall_ms"],
+                         "FAILED run"))
+            continue
+        if base is None:
+            rows.append((name, None, cur["wall_ms"], "new bench"))
+            continue
+        base_ms, cur_ms = base["wall_ms"], cur["wall_ms"]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        note = f"{ratio:.2f}x"
+        if cur_ms > args.max_ratio * base_ms and \
+                cur_ms - base_ms >= args.floor_ms:
+            regressions.append((name, base_ms, cur_ms, ratio))
+            note += f"  REGRESSION (> {args.max_ratio}x)"
+        elif cur_ms > args.max_ratio * base_ms:
+            note += "  (over ratio, under floor; ignored)"
+        rows.append((name, base_ms, cur_ms, note))
+
+    width = max(len(name) for name, *_ in rows) if rows else 10
+    print(f"{'bench':<{width}}  {'base ms':>9}  {'now ms':>9}  note")
+    for name, base_ms, cur_ms, note in rows:
+        base_s = f"{base_ms}" if base_ms is not None else "-"
+        cur_s = f"{cur_ms}" if cur_ms is not None else "-"
+        print(f"{name:<{width}}  {base_s:>9}  {cur_s:>9}  {note}")
+
+    ok = True
+    if failures:
+        ok = False
+        print(f"\nerror: {len(failures)} bench(es) failed to run: "
+              f"{', '.join(failures)}", file=sys.stderr)
+    if regressions:
+        ok = False
+        print(f"\nerror: {len(regressions)} wall-time regression(s) beyond "
+              f"{args.max_ratio}x (+{args.floor_ms} ms floor):",
+              file=sys.stderr)
+        for name, base_ms, cur_ms, ratio in regressions:
+            print(f"  {name}: {base_ms} ms -> {cur_ms} ms ({ratio:.2f}x)",
+                  file=sys.stderr)
+        print("If intentional, refresh BENCH_baseline.json (see this "
+              "script's docstring).", file=sys.stderr)
+    if ok:
+        print("\nbench gate: OK (no regressions)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

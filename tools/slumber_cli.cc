@@ -1,5 +1,10 @@
 // slumber -- command-line front end to the library.
 //
+// A global `--threads N` flag (anywhere on the command line) sets the
+// parallel trial runner's lane count for the multi-seed commands
+// (sweep); the default is all hardware threads. Results are bitwise
+// identical for every N.
+//
 //   slumber families
 //       List the built-in graph families.
 //   slumber engines
@@ -28,6 +33,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "algos/beeping_mis.h"
 #include "algos/edge_coloring.h"
@@ -35,6 +41,7 @@
 #include "algos/matching.h"
 #include "algos/ruling_set.h"
 #include "analysis/experiment.h"
+#include "analysis/parallel.h"
 #include "analysis/stats.h"
 #include "analysis/table.h"
 #include "analysis/verify.h"
@@ -54,7 +61,7 @@ using namespace slumber;
 
 int usage() {
   std::cerr <<
-      "usage:\n"
+      "usage: slumber [--threads N] <command> ...\n"
       "  slumber families\n"
       "  slumber engines\n"
       "  slumber run <engine> <family> <n> [seed]\n"
@@ -294,6 +301,21 @@ int cmd_leader(const gen::Family family, const VertexId n,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global --threads flag (valid anywhere) before dispatch.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      if (i + 1 >= argc) return usage();
+      const int threads = std::atoi(argv[++i]);
+      if (threads <= 0) return usage();
+      analysis::set_default_trial_threads(static_cast<unsigned>(threads));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 2) return usage();
   const std::string command = argv[1];
   if (command == "families") return cmd_families();
