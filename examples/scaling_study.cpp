@@ -2,11 +2,16 @@
 // of the paper's Table 1 evolve with n for Algorithm 1, Algorithm 2,
 // and Luby's baseline, on a topology of the user's choice?
 //
-//   $ ./scaling_study [family] [max_n] [threads]
+//   $ ./scaling_study [family] [max_n] [threads] [exec]
 //
 // where family is one of: gnp_sparse (default), cycle, star, grid,
 // lollipop, random_tree, barabasi_albert, unit_disk, ...; threads is
-// the trial-runner parallelism (default: all hardware threads).
+// the trial-runner parallelism (default: all hardware threads); exec is
+// "coroutine" (default) or "bulk". The bulk execution engine runs the
+// same protocols over flat state arrays, opening two orders of
+// magnitude more n: `./scaling_study gnp_sparse 4194304 0 bulk`
+// reproduces the paper's flat awake-complexity curve at multi-million
+// node scale (Algorithm 2 has no bulk port yet and is skipped there).
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -23,9 +28,15 @@ int main(int argc, char** argv) {
   std::string family_name = argc > 1 ? argv[1] : "gnp_sparse";
   const VertexId max_n =
       argc > 2 ? static_cast<VertexId>(std::atoi(argv[2])) : 2048;
-  if (argc > 3) {
+  if (argc > 3 && std::atoi(argv[3]) > 0) {
     analysis::set_default_trial_threads(
         static_cast<unsigned>(std::atoi(argv[3])));
+  }
+  analysis::ExecEngine exec = analysis::ExecEngine::kCoroutine;
+  if (argc > 4 && !analysis::exec_engine_from_name(argv[4], &exec)) {
+    std::cerr << "unknown exec engine '" << argv[4]
+              << "'; options: coroutine bulk\n";
+    return 1;
   }
 
   gen::Family family = gen::Family::kGnpSparse;
@@ -46,10 +57,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::cout << analysis::banner("scaling study on " + family_name);
-  const std::vector<analysis::MisEngine> engines = {
+  std::cout << analysis::banner("scaling study on " + family_name + " (" +
+                                analysis::exec_engine_name(exec) +
+                                " execution)");
+  std::vector<analysis::MisEngine> engines = {
       analysis::MisEngine::kSleeping, analysis::MisEngine::kFastSleeping,
       analysis::MisEngine::kLubyA};
+  if (exec == analysis::ExecEngine::kBulk) {
+    std::erase_if(engines, [&](analysis::MisEngine e) {
+      return !analysis::engine_supports_bulk(e);
+    });
+  }
 
   for (const auto engine : engines) {
     analysis::Table table({"n", "node-avg awake", "worst awake",
@@ -60,7 +78,7 @@ int main(int argc, char** argv) {
       const auto agg = analysis::aggregate_mis(
           engine,
           [&](std::uint64_t seed) { return gen::make(family, n, seed); },
-          1000 + n, 3);
+          1000 + n, 3, 0, exec);
       if (agg.invalid_runs > 0) {
         std::cerr << "invalid runs at n=" << n << "\n";
         return 1;

@@ -18,9 +18,14 @@ sim::Task beeping_node(sim::Context& ctx, BeepingMisOptions options) {
   const std::uint64_t phase_cap = options.max_phases != 0
                                       ? options.max_phases
                                       : default_iteration_cap(ctx.n());
-  const std::uint32_t random_bits = rank_bits_for(ctx.n());
   const std::uint32_t id_bits = static_cast<std::uint32_t>(
       std::bit_width(std::max<std::uint64_t>(ctx.n(), 2) - 1));
+  // The composite rank (random bits above the id) lives in one 64-bit
+  // word, so cap the random part at 64 - id_bits: past n = 65536 the
+  // uncapped 3 log2 n + id_bits would exceed 64 and the auction's bit
+  // shifts would be undefined.
+  const std::uint32_t random_bits =
+      std::min(rank_bits_for(ctx.n()), 64 - id_bits);
   const std::uint32_t total_bits = random_bits + id_bits;
 
   for (std::uint64_t phase = 0; phase < phase_cap; ++phase) {

@@ -7,6 +7,9 @@
 #include "algos/luby.h"
 #include "analysis/stats.h"
 #include "analysis/verify.h"
+#include "bulk/baselines.h"
+#include "bulk/engine.h"
+#include "bulk/sleeping_mis.h"
 #include "core/fast_sleeping_mis.h"
 #include "core/sleeping_mis.h"
 #include "sim/network.h"
@@ -52,6 +55,25 @@ bool engine_from_name(const std::string& name, MisEngine* out) {
   return true;
 }
 
+std::string exec_engine_name(ExecEngine exec) {
+  switch (exec) {
+    case ExecEngine::kCoroutine: return "coroutine";
+    case ExecEngine::kBulk: return "bulk";
+  }
+  return "unknown";
+}
+
+bool exec_engine_from_name(const std::string& name, ExecEngine* out) {
+  if (name == "coroutine") *out = ExecEngine::kCoroutine;
+  else if (name == "bulk") *out = ExecEngine::kBulk;
+  else return false;
+  return true;
+}
+
+bool engine_supports_bulk(MisEngine engine) {
+  return bulk::bulk_supports(engine);
+}
+
 AggregateRun aggregate_runs(const MisRun* begin, const MisRun* end) {
   AggregateRun agg;
   std::vector<double> avg_awake;
@@ -85,8 +107,43 @@ AggregateRun aggregate_runs(const std::vector<MisRun>& runs) {
   return aggregate_runs(runs.data(), runs.data() + runs.size());
 }
 
+namespace {
+
+MisRun finish_run(MisEngine engine, const Graph& g, std::uint64_t seed,
+                  sim::Metrics metrics, std::vector<std::int64_t> outputs) {
+  MisRun run;
+  run.engine = engine;
+  run.seed = seed;
+  run.valid = check_mis(g, outputs).ok();
+  run.node_avg_awake = metrics.node_avg_awake();
+  run.worst_awake = metrics.worst_awake();
+  run.node_avg_rounds = metrics.node_avg_finish();
+  run.worst_rounds = metrics.worst_finish();
+  run.total_messages = metrics.total_messages;
+  for (std::int64_t out : outputs) {
+    if (out == 1) ++run.mis_size;
+  }
+  run.metrics = std::move(metrics);
+  run.outputs = std::move(outputs);
+  return run;
+}
+
+}  // namespace
+
 MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
-               core::RecursionTrace* trace) {
+               core::RecursionTrace* trace, ExecEngine exec) {
+  if (exec == ExecEngine::kBulk) {
+    auto protocol = bulk::bulk_mis_protocol(engine, trace);
+    if (protocol == nullptr) {
+      throw std::invalid_argument("run_mis: engine " + engine_name(engine) +
+                                  " has no bulk implementation");
+    }
+    bulk::BulkOptions options;
+    options.max_message_bits = sim::congest_bits_for(g.num_vertices());
+    bulk::BulkResult result = bulk::run_bulk(g, seed, *protocol, options);
+    return finish_run(engine, g, seed, std::move(result.metrics),
+                      std::move(result.outputs));
+  }
   sim::Protocol protocol;
   switch (engine) {
     case MisEngine::kSleeping:
@@ -114,22 +171,7 @@ MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
   sim::NetworkOptions options;
   options.max_message_bits = sim::congest_bits_for(g.num_vertices());
   auto [metrics, outputs] = sim::run_protocol(g, seed, protocol, options);
-
-  MisRun run;
-  run.engine = engine;
-  run.seed = seed;
-  run.valid = check_mis(g, outputs).ok();
-  run.node_avg_awake = metrics.node_avg_awake();
-  run.worst_awake = metrics.worst_awake();
-  run.node_avg_rounds = metrics.node_avg_finish();
-  run.worst_rounds = metrics.worst_finish();
-  run.total_messages = metrics.total_messages;
-  for (std::int64_t out : outputs) {
-    if (out == 1) ++run.mis_size;
-  }
-  run.metrics = std::move(metrics);
-  run.outputs = std::move(outputs);
-  return run;
+  return finish_run(engine, g, seed, std::move(metrics), std::move(outputs));
 }
 
 }  // namespace slumber::analysis

@@ -28,6 +28,20 @@ bool engine_uses_sleeping(MisEngine engine);
 /// unknown input.
 bool engine_from_name(const std::string& name, MisEngine* out);
 
+/// Which execution back end runs the protocol: the coroutine scheduler
+/// (src/sim, supports every engine plus fault injection) or the bulk
+/// flat-state engine (src/bulk, 10M+-node scale; Sleeping/Luby/greedy
+/// only). Both produce bitwise-identical results where they overlap.
+enum class ExecEngine { kCoroutine, kBulk };
+
+std::string exec_engine_name(ExecEngine exec);
+
+/// Parses "coroutine" / "bulk"; returns false on unknown input.
+bool exec_engine_from_name(const std::string& name, ExecEngine* out);
+
+/// True iff `engine` can run on the bulk execution engine.
+bool engine_supports_bulk(MisEngine engine);
+
 /// One run's results: the four measures of the paper's Table 1 plus
 /// bookkeeping.
 struct MisRun {
@@ -46,9 +60,12 @@ struct MisRun {
 
 /// Runs `engine` on `g`; enforces the CONGEST budget; verifies the MIS.
 /// If `trace` is non-null and the engine is one of the sleeping
-/// algorithms, the recursion trace is collected.
+/// algorithms, the recursion trace is collected. `exec` selects the
+/// execution back end; throws std::invalid_argument when the engine has
+/// no bulk implementation.
 MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
-               core::RecursionTrace* trace = nullptr);
+               core::RecursionTrace* trace = nullptr,
+               ExecEngine exec = ExecEngine::kCoroutine);
 
 /// Seed-averaged measures for one (engine, graph-generator) cell.
 struct AggregateRun {
@@ -78,11 +95,13 @@ inline std::uint64_t trial_seed(std::uint64_t base_seed, std::uint32_t trial) {
 /// `make_graph` (called with the trial seed), sharded across
 /// `num_threads` lanes (0 = default_trial_threads()). The returned runs
 /// are ordered by trial index and bitwise identical for every thread
-/// count, including the fully serial num_threads = 1.
+/// count, including the fully serial num_threads = 1. `exec` selects the
+/// execution back end for every trial.
 template <typename GraphFactory>
 std::vector<MisRun> run_trials(MisEngine engine, const GraphFactory& make_graph,
                                std::uint64_t base_seed, std::uint32_t num_seeds,
-                               unsigned num_threads = 0);
+                               unsigned num_threads = 0,
+                               ExecEngine exec = ExecEngine::kCoroutine);
 
 /// Reduces a trial-ordered run sequence into the seed-averaged measures.
 /// Deterministic: iterates in sequence order.
@@ -95,7 +114,8 @@ AggregateRun aggregate_runs(const std::vector<MisRun>& runs);
 template <typename GraphFactory>
 AggregateRun aggregate_mis(MisEngine engine, const GraphFactory& make_graph,
                            std::uint64_t base_seed, std::uint32_t num_seeds,
-                           unsigned num_threads = 0);
+                           unsigned num_threads = 0,
+                           ExecEngine exec = ExecEngine::kCoroutine);
 
 }  // namespace slumber::analysis
 

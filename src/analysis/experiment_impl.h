@@ -9,21 +9,21 @@ namespace slumber::analysis {
 template <typename GraphFactory>
 std::vector<MisRun> run_trials(MisEngine engine, const GraphFactory& make_graph,
                                std::uint64_t base_seed, std::uint32_t num_seeds,
-                               unsigned num_threads) {
+                               unsigned num_threads, ExecEngine exec) {
   return parallel_trials(num_seeds, num_threads, [&](std::size_t i) {
     const std::uint64_t seed =
         trial_seed(base_seed, static_cast<std::uint32_t>(i));
     const Graph g = make_graph(seed);
-    return run_mis(engine, g, seed);
+    return run_mis(engine, g, seed, nullptr, exec);
   });
 }
 
 template <typename GraphFactory>
 AggregateRun aggregate_mis(MisEngine engine, const GraphFactory& make_graph,
                            std::uint64_t base_seed, std::uint32_t num_seeds,
-                           unsigned num_threads) {
+                           unsigned num_threads, ExecEngine exec) {
   return aggregate_runs(
-      run_trials(engine, make_graph, base_seed, num_seeds, num_threads));
+      run_trials(engine, make_graph, base_seed, num_seeds, num_threads, exec));
 }
 
 }  // namespace slumber::analysis

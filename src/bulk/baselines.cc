@@ -1,0 +1,522 @@
+#include "bulk/baselines.h"
+
+#include <bit>
+#include <numeric>
+#include <utility>
+
+#include "algos/common.h"
+#include "bulk/sleeping_mis.h"
+#include "sim/message.h"
+
+namespace slumber::bulk {
+namespace {
+
+using algos::default_iteration_cap;
+using algos::priority_beats;
+using algos::rank_bits_for;
+
+/// One persistent RNG stream per node, identical to the streams
+/// sim::Network hands out.
+std::vector<Rng> node_streams(BulkEngine& eng) {
+  const auto n = eng.graph().num_vertices();
+  std::vector<Rng> rng;
+  rng.reserve(n);
+  for (VertexId v = 0; v < n; ++v) rng.push_back(eng.node_rng(v));
+  return rng;
+}
+
+std::vector<VertexId> all_vertices(VertexId n) {
+  std::vector<VertexId> alive(n);
+  std::iota(alive.begin(), alive.end(), VertexId{0});
+  return alive;
+}
+
+}  // namespace
+
+void BulkLubyA::run(BulkEngine& eng) {
+  const Graph& g = eng.graph();
+  const VertexId n = g.num_vertices();
+  if (n == 0) return;
+  const std::uint32_t rank_bits = rank_bits_for(n);
+  const std::uint32_t rank_msg_bits = sim::Message::rank(0, rank_bits).bits;
+  const std::uint32_t in_mis_bits = sim::Message::in_mis().bits;
+  const std::uint64_t cap = options_.max_iterations != 0
+                                ? options_.max_iterations
+                                : default_iteration_cap(n);
+  std::vector<Rng> rng = node_streams(eng);
+  std::vector<VertexId> alive = all_vertices(n);
+  std::vector<std::uint64_t> priority(n, 0);
+  std::vector<std::uint8_t> win(n, 0);
+  VirtualRound round = 0;
+
+  for (std::uint64_t iteration = 0; iteration < cap && !alive.empty();
+       ++iteration) {
+    // Round 1: fresh priorities; strict local maxima win.
+    ++round;
+    eng.mark_awake(alive);
+    eng.charge_round(alive, round);
+    for (const VertexId v : alive) {
+      priority[v] = rng[v].next() >> (64 - rank_bits);
+    }
+    for (const VertexId v : alive) {
+      std::uint64_t awake_nbrs = 0;
+      bool w = true;
+      for (const VertexId u : g.neighbors(v)) {
+        if (!eng.is_awake(u)) continue;
+        ++awake_nbrs;
+        if (priority_beats(priority[u], u, priority[v], v)) w = false;
+      }
+      eng.charge_symmetric_broadcast(v, awake_nbrs, rank_msg_bits);
+      win[v] = w ? 1 : 0;
+    }
+
+    // Round 2: winners announce and join; dominated neighbors exit.
+    ++round;
+    eng.charge_round(alive, round);
+    std::vector<VertexId> next;
+    next.reserve(alive.size());
+    for (const VertexId v : alive) {
+      std::uint64_t awake_nbrs = 0;
+      std::uint64_t winners_adjacent = 0;
+      for (const VertexId u : g.neighbors(v)) {
+        if (!eng.is_awake(u)) continue;
+        ++awake_nbrs;
+        winners_adjacent += win[u];
+      }
+      if (win[v] != 0) eng.charge_send(v, g.degree(v), awake_nbrs, in_mis_bits);
+      eng.charge_received(v, winners_adjacent);
+      if (win[v] != 0) {
+        eng.decide(v, 1, round);
+        eng.finish(v, round);
+      } else if (winners_adjacent > 0) {
+        eng.decide(v, 0, round);
+        eng.finish(v, round);
+      } else {
+        next.push_back(v);
+      }
+    }
+    alive = std::move(next);
+  }
+  // Iteration cap exhausted: remaining nodes return undecided.
+  for (const VertexId v : alive) eng.finish(v, round);
+}
+
+void BulkLubyB::run(BulkEngine& eng) {
+  const Graph& g = eng.graph();
+  const VertexId n = g.num_vertices();
+  if (n == 0) return;
+  const std::uint32_t hello_bits = sim::Message::hello().bits;
+  const std::uint32_t mark_bits = 8 + rank_bits_for(n) / 3;
+  const std::uint32_t in_mis_bits = sim::Message::in_mis().bits;
+  const std::uint64_t cap = options_.max_iterations != 0
+                                ? options_.max_iterations
+                                : default_iteration_cap(n);
+  std::vector<Rng> rng = node_streams(eng);
+  std::vector<VertexId> alive = all_vertices(n);
+  std::vector<std::uint64_t> active_deg(n, 0);
+  std::vector<std::uint8_t> marked(n, 0);
+  std::vector<std::uint8_t> win(n, 0);
+  VirtualRound round = 0;
+
+  for (std::uint64_t iteration = 0; iteration < cap && !alive.empty();
+       ++iteration) {
+    // Round 1: probe active degree; mark w.p. 1/(2d) (isolated nodes
+    // mark outright, drawing nothing — note the short-circuit).
+    ++round;
+    eng.mark_awake(alive);
+    eng.charge_round(alive, round);
+    for (const VertexId v : alive) {
+      std::uint64_t awake_nbrs = 0;
+      for (const VertexId u : g.neighbors(v)) {
+        awake_nbrs += eng.is_awake(u) ? 1 : 0;
+      }
+      active_deg[v] = awake_nbrs;
+      eng.charge_symmetric_broadcast(v, awake_nbrs, hello_bits);
+    }
+    for (const VertexId v : alive) {
+      marked[v] =
+          (active_deg[v] == 0 ||
+           rng[v].bernoulli(1.0 / (2.0 * static_cast<double>(active_deg[v]))))
+              ? 1
+              : 0;
+    }
+
+    // Round 2: marked nodes exchange (degree, id); beaten marks unmark.
+    ++round;
+    eng.charge_round(alive, round);
+    for (const VertexId v : alive) {
+      std::uint64_t marked_adjacent = 0;
+      bool w = marked[v] != 0;
+      for (const VertexId u : g.neighbors(v)) {
+        if (!eng.is_awake(u) || marked[u] == 0) continue;
+        ++marked_adjacent;
+        if (w && priority_beats(active_deg[u], u, active_deg[v], v)) {
+          w = false;
+        }
+      }
+      if (marked[v] != 0) {
+        eng.charge_send(v, g.degree(v), active_deg[v], mark_bits);
+      }
+      eng.charge_received(v, marked_adjacent);
+      win[v] = w ? 1 : 0;
+    }
+
+    // Round 3: winners announce and join; dominated neighbors exit.
+    ++round;
+    eng.charge_round(alive, round);
+    std::vector<VertexId> next;
+    next.reserve(alive.size());
+    for (const VertexId v : alive) {
+      std::uint64_t winners_adjacent = 0;
+      for (const VertexId u : g.neighbors(v)) {
+        if (eng.is_awake(u)) winners_adjacent += win[u];
+      }
+      if (win[v] != 0) {
+        eng.charge_send(v, g.degree(v), active_deg[v], in_mis_bits);
+      }
+      eng.charge_received(v, winners_adjacent);
+      if (win[v] != 0) {
+        eng.decide(v, 1, round);
+        eng.finish(v, round);
+      } else if (winners_adjacent > 0) {
+        eng.decide(v, 0, round);
+        eng.finish(v, round);
+      } else {
+        next.push_back(v);
+      }
+    }
+    alive = std::move(next);
+  }
+  for (const VertexId v : alive) eng.finish(v, round);
+}
+
+void BulkGreedy::run(BulkEngine& eng) {
+  const Graph& g = eng.graph();
+  const VertexId n = g.num_vertices();
+  if (n == 0) return;
+  const std::uint32_t rank_bits = rank_bits_for(n);
+  const std::uint32_t rank_msg_bits = sim::Message::rank(0, rank_bits).bits;
+  const std::uint32_t in_mis_bits = sim::Message::in_mis().bits;
+  const std::uint64_t cap = options_.max_iterations != 0
+                                ? options_.max_iterations
+                                : default_iteration_cap(n);
+  // One rank per node, drawn up front (round 0) by every node.
+  std::vector<std::uint64_t> rank(n);
+  if (options_.ranks_out != nullptr && options_.ranks_out->size() != n) {
+    options_.ranks_out->resize(n);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    rank[v] = eng.node_rng(v).next() >> (64 - rank_bits);
+    if (options_.ranks_out != nullptr) (*options_.ranks_out)[v] = rank[v];
+  }
+  std::vector<VertexId> alive = all_vertices(n);
+  std::vector<std::uint8_t> win(n, 0);
+  VirtualRound round = 0;
+
+  for (std::uint64_t iteration = 0; iteration < cap && !alive.empty();
+       ++iteration) {
+    ++round;
+    eng.mark_awake(alive);
+    eng.charge_round(alive, round);
+    for (const VertexId v : alive) {
+      std::uint64_t awake_nbrs = 0;
+      bool w = true;
+      for (const VertexId u : g.neighbors(v)) {
+        if (!eng.is_awake(u)) continue;
+        ++awake_nbrs;
+        if (priority_beats(rank[u], u, rank[v], v)) w = false;
+      }
+      eng.charge_symmetric_broadcast(v, awake_nbrs, rank_msg_bits);
+      win[v] = w ? 1 : 0;
+    }
+
+    ++round;
+    eng.charge_round(alive, round);
+    std::vector<VertexId> next;
+    next.reserve(alive.size());
+    for (const VertexId v : alive) {
+      std::uint64_t awake_nbrs = 0;
+      std::uint64_t winners_adjacent = 0;
+      for (const VertexId u : g.neighbors(v)) {
+        if (!eng.is_awake(u)) continue;
+        ++awake_nbrs;
+        winners_adjacent += win[u];
+      }
+      if (win[v] != 0) eng.charge_send(v, g.degree(v), awake_nbrs, in_mis_bits);
+      eng.charge_received(v, winners_adjacent);
+      if (win[v] != 0) {
+        eng.decide(v, 1, round);
+        eng.finish(v, round);
+      } else if (winners_adjacent > 0) {
+        eng.decide(v, 0, round);
+        eng.finish(v, round);
+      } else {
+        next.push_back(v);
+      }
+    }
+    alive = std::move(next);
+  }
+  for (const VertexId v : alive) eng.finish(v, round);
+}
+
+void BulkIsraeliItai::run(BulkEngine& eng) {
+  const Graph& g = eng.graph();
+  const VertexId n = g.num_vertices();
+  if (n == 0) return;
+  constexpr std::uint32_t kIiBits = 10;  // tag + 2-bit discriminator
+  const std::uint64_t cap = options_.max_iterations != 0
+                                ? options_.max_iterations
+                                : default_iteration_cap(n);
+  std::vector<Rng> rng = node_streams(eng);
+  std::vector<VertexId> alive = all_vertices(n);
+  // Per-port active flags, indexed by CSR adjacency slot.
+  std::vector<std::uint8_t> port_active(g.degree_sum(), 1);
+  std::vector<std::uint32_t> active_count(n);
+  for (VertexId v = 0; v < n; ++v) active_count[v] = g.degree(v);
+  std::vector<std::uint8_t> proposer(n, 0);
+  std::vector<VertexId> target(n, kInvalidVertex);
+  std::vector<std::int64_t> partner(n, -1);
+  std::vector<std::uint32_t> recv(n, 0);
+  VirtualRound round = 0;
+
+  for (std::uint64_t iteration = 0; iteration < cap && !alive.empty();
+       ++iteration) {
+    // Nodes whose active neighborhood emptied terminate unmatched. In
+    // the coroutine engine this runs during the previous round's resume,
+    // so the decision carries the current round stamp.
+    {
+      std::vector<VertexId> still;
+      still.reserve(alive.size());
+      for (const VertexId v : alive) {
+        if (active_count[v] == 0) {
+          eng.decide(v, -1, round);
+          eng.finish(v, round);
+        } else {
+          still.push_back(v);
+        }
+      }
+      alive = std::move(still);
+    }
+    if (alive.empty()) break;
+
+    // Role coins; proposers pick a uniformly random active port.
+    for (const VertexId v : alive) {
+      partner[v] = -1;
+      proposer[v] = rng[v].coin() ? 1 : 0;
+      if (proposer[v] != 0) {
+        std::uint64_t pick = rng[v].below(active_count[v]);
+        const CsrOffset base = g.adjacency_offset(v);
+        std::uint32_t port = 0;
+        for (const std::uint32_t deg = g.degree(v); port < deg; ++port) {
+          if (port_active[base + port] == 0) continue;
+          if (pick == 0) break;
+          --pick;
+        }
+        target[v] = g.neighbor(v, port);
+      } else {
+        target[v] = kInvalidVertex;
+      }
+    }
+
+    // Round 1: proposals travel one port each.
+    ++round;
+    eng.mark_awake(alive);
+    eng.charge_round(alive, round);
+    for (const VertexId v : alive) recv[v] = 0;
+    for (const VertexId v : alive) {
+      if (proposer[v] == 0) continue;
+      const VertexId t = target[v];
+      const bool delivered = eng.is_awake(t);
+      eng.charge_send(v, 1, delivered ? 1 : 0, kIiBits);
+      if (delivered) ++recv[t];
+    }
+    for (const VertexId v : alive) eng.charge_received(v, recv[v]);
+
+    // Round 2: acceptors answer the lowest-port proposal; the accepted
+    // proposer and the acceptor become partners.
+    ++round;
+    eng.charge_round(alive, round);
+    for (const VertexId v : alive) recv[v] = 0;
+    for (const VertexId u : alive) {
+      if (proposer[u] != 0) continue;
+      const auto nbrs = g.neighbors(u);
+      for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+        const VertexId w = nbrs[p];
+        if (eng.is_awake(w) && proposer[w] != 0 && target[w] == u) {
+          eng.charge_send(u, 1, 1, kIiBits);
+          ++recv[w];
+          partner[u] = static_cast<std::int64_t>(w);
+          partner[w] = static_cast<std::int64_t>(u);
+          break;
+        }
+      }
+    }
+    for (const VertexId v : alive) eng.charge_received(v, recv[v]);
+
+    // Round 3: matched nodes announce and terminate; the rest strike
+    // announced neighbors from their active port sets.
+    ++round;
+    eng.charge_round(alive, round);
+    std::vector<VertexId> next;
+    next.reserve(alive.size());
+    for (const VertexId v : alive) {
+      std::uint64_t awake_nbrs = 0;
+      std::uint64_t matched_adjacent = 0;
+      const auto nbrs = g.neighbors(v);
+      const CsrOffset base = g.adjacency_offset(v);
+      for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+        const VertexId u = nbrs[p];
+        if (!eng.is_awake(u)) continue;
+        ++awake_nbrs;
+        if (partner[u] >= 0) {
+          ++matched_adjacent;
+          if (partner[v] < 0 && port_active[base + p] != 0) {
+            port_active[base + p] = 0;
+            --active_count[v];
+          }
+        }
+      }
+      if (partner[v] >= 0) eng.charge_send(v, g.degree(v), awake_nbrs, kIiBits);
+      eng.charge_received(v, matched_adjacent);
+      if (partner[v] >= 0) {
+        eng.decide(v, partner[v], round);
+        eng.finish(v, round);
+      } else {
+        next.push_back(v);
+      }
+    }
+    alive = std::move(next);
+  }
+  for (const VertexId v : alive) eng.finish(v, round);
+}
+
+void BulkBeepingMis::run(BulkEngine& eng) {
+  const Graph& g = eng.graph();
+  const VertexId n = g.num_vertices();
+  if (n == 0) return;
+  const std::uint32_t beep_bits = sim::Message::beep().bits;
+  const std::uint64_t phase_cap = options_.max_phases != 0
+                                      ? options_.max_phases
+                                      : default_iteration_cap(n);
+  const std::uint32_t id_bits = static_cast<std::uint32_t>(
+      std::bit_width(std::max<std::uint64_t>(n, 2) - 1));
+  // Capped like algos/beeping_mis.cc so the 64-bit composite rank never
+  // shifts out of range past n = 65536 (bit-compatibility requires the
+  // identical cap).
+  const std::uint32_t random_bits =
+      std::min(rank_bits_for(n), 64 - id_bits);
+  const std::uint32_t total_bits = random_bits + id_bits;
+  std::vector<Rng> rng = node_streams(eng);
+  std::vector<VertexId> alive = all_vertices(n);
+  std::vector<std::uint64_t> rank(n, 0);
+  std::vector<std::uint8_t> contending(n, 0);
+  std::vector<std::uint8_t> beeper(n, 0);
+  VirtualRound round = 0;
+
+  for (std::uint64_t phase = 0; phase < phase_cap && !alive.empty(); ++phase) {
+    for (const VertexId v : alive) {
+      const bool candidate = rng[v].bernoulli(options_.candidate_prob);
+      rank[v] = candidate
+                    ? (rng[v].below(std::uint64_t{1} << random_bits)
+                       << id_bits) |
+                          v
+                    : 0;
+      contending[v] = candidate ? 1 : 0;
+    }
+    eng.mark_awake(alive);  // one awake set for the whole phase
+
+    // Bit auction, most significant bit first.
+    for (std::uint32_t slot = 0; slot < total_bits; ++slot) {
+      ++round;
+      eng.charge_round(alive, round);
+      const std::uint32_t bit_index = total_bits - 1 - slot;
+      for (const VertexId v : alive) {
+        beeper[v] = (contending[v] != 0 && ((rank[v] >> bit_index) & 1) != 0)
+                        ? 1
+                        : 0;
+      }
+      for (const VertexId v : alive) {
+        std::uint64_t awake_nbrs = 0;
+        std::uint64_t beeps_heard = 0;
+        for (const VertexId u : g.neighbors(v)) {
+          if (!eng.is_awake(u)) continue;
+          ++awake_nbrs;
+          beeps_heard += beeper[u];
+        }
+        if (beeper[v] != 0) {
+          eng.charge_send(v, g.degree(v), awake_nbrs, beep_bits);
+        }
+        eng.charge_received(v, beeps_heard);
+        // A beeping node cannot listen; only silent contenders drop out.
+        if (beeper[v] == 0 && contending[v] != 0 && beeps_heard > 0) {
+          contending[v] = 0;
+        }
+      }
+    }
+
+    // Join slot: survivors beep-and-join; listeners that hear it exit.
+    ++round;
+    eng.charge_round(alive, round);
+    std::vector<VertexId> next;
+    next.reserve(alive.size());
+    for (const VertexId v : alive) {
+      std::uint64_t awake_nbrs = 0;
+      std::uint64_t joins_heard = 0;
+      for (const VertexId u : g.neighbors(v)) {
+        if (!eng.is_awake(u)) continue;
+        ++awake_nbrs;
+        joins_heard += contending[u];
+      }
+      if (contending[v] != 0) {
+        eng.charge_send(v, g.degree(v), awake_nbrs, beep_bits);
+      }
+      eng.charge_received(v, joins_heard);
+      if (contending[v] != 0) {
+        eng.decide(v, 1, round);
+        eng.finish(v, round);
+      } else if (joins_heard > 0) {
+        eng.decide(v, 0, round);
+        eng.finish(v, round);
+      } else {
+        next.push_back(v);
+      }
+    }
+    alive = std::move(next);
+  }
+  for (const VertexId v : alive) eng.finish(v, round);
+}
+
+std::unique_ptr<BulkProtocol> bulk_mis_protocol(algos::MisEngine engine,
+                                                core::RecursionTrace* trace) {
+  switch (engine) {
+    case algos::MisEngine::kSleeping:
+      return std::make_unique<BulkSleepingMis>(core::SleepingMisOptions{},
+                                               trace);
+    case algos::MisEngine::kLubyA:
+      return std::make_unique<BulkLubyA>();
+    case algos::MisEngine::kLubyB:
+      return std::make_unique<BulkLubyB>();
+    case algos::MisEngine::kGreedy:
+      return std::make_unique<BulkGreedy>();
+    case algos::MisEngine::kFastSleeping:
+    case algos::MisEngine::kGhaffari:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+bool bulk_supports(algos::MisEngine engine) {
+  switch (engine) {
+    case algos::MisEngine::kSleeping:
+    case algos::MisEngine::kLubyA:
+    case algos::MisEngine::kLubyB:
+    case algos::MisEngine::kGreedy:
+      return true;
+    case algos::MisEngine::kFastSleeping:
+    case algos::MisEngine::kGhaffari:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace slumber::bulk

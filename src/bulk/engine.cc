@@ -1,0 +1,82 @@
+#include "bulk/engine.h"
+
+#include <algorithm>
+#include <string>
+
+namespace slumber::bulk {
+
+BulkEngine::BulkEngine(const Graph& g, std::uint64_t seed, BulkOptions options)
+    : graph_(g), options_(options), seed_(seed), master_(seed) {
+  const VertexId n = g.num_vertices();
+  metrics_.node.resize(n);
+  outputs_.assign(n, -1);
+  decided_.assign(n, 0);
+  awake_epoch_.assign(n, 0);
+}
+
+void BulkEngine::mark_awake(std::span<const VertexId> awake) {
+  ++epoch_;
+  for (const VertexId v : awake) awake_epoch_[v] = epoch_;
+}
+
+void BulkEngine::charge_round(std::span<const VertexId> awake,
+                              VirtualRound round) {
+  if (awake.empty()) return;
+  ++metrics_.distinct_active_rounds;
+  metrics_.total_awake_node_rounds += awake.size();
+  for (const VertexId v : awake) ++metrics_.node[v].awake_rounds;
+  virtual_makespan_ = std::max(virtual_makespan_, round);
+}
+
+void BulkEngine::charge_send(VertexId v, std::uint64_t attempted,
+                             std::uint64_t delivered, std::uint32_t bits) {
+  if (attempted == 0) return;
+  metrics_.node[v].messages_sent += attempted;
+  metrics_.total_messages += delivered;
+  metrics_.dropped_messages += attempted - delivered;
+  metrics_.max_message_bits_seen =
+      std::max(metrics_.max_message_bits_seen, bits);
+  if (options_.max_message_bits != 0 && bits > options_.max_message_bits) {
+    metrics_.congest_violations += attempted;
+    if (options_.throw_on_congest_violation) {
+      throw sim::CongestViolation(
+          "message of " + std::to_string(bits) + " bits exceeds CONGEST " +
+          "budget of " + std::to_string(options_.max_message_bits));
+    }
+  }
+}
+
+void BulkEngine::decide(VertexId v, std::int64_t output, VirtualRound round) {
+  if (decided_[v] != 0) return;
+  decided_[v] = 1;
+  outputs_[v] = output;
+  auto& m = metrics_.node[v];
+  m.decided_round = saturate_round(round);
+  m.awake_at_decision = m.awake_rounds;
+}
+
+void BulkEngine::finish(VertexId v, VirtualRound round) {
+  metrics_.node[v].finish_round = saturate_round(round);
+  virtual_makespan_ = std::max(virtual_makespan_, round);
+}
+
+BulkResult BulkEngine::take_result() {
+  metrics_.makespan = 0;
+  for (const sim::NodeMetrics& m : metrics_.node) {
+    metrics_.makespan = std::max(metrics_.makespan, m.finish_round);
+  }
+  BulkResult result;
+  result.metrics = std::move(metrics_);
+  result.outputs = std::move(outputs_);
+  result.virtual_makespan = virtual_makespan_;
+  return result;
+}
+
+BulkResult run_bulk(const Graph& g, std::uint64_t seed, BulkProtocol& protocol,
+                    BulkOptions options) {
+  BulkEngine engine(g, seed, options);
+  protocol.run(engine);
+  return engine.take_result();
+}
+
+}  // namespace slumber::bulk

@@ -1,0 +1,162 @@
+// The bulk execution engine: flat-state, awake-set-driven simulation.
+//
+// The coroutine scheduler in src/sim pays a coroutine frame per
+// recursion level per node, a std::function dispatch per protocol, and
+// map-bucket churn per wake-up, which caps single trials at laptop
+// scale. This engine is the second execution back end: protocols keep
+// their per-node state in flat arrays, and each synchronous round is
+// executed by iterating an explicit awake set over the graph's CSR
+// neighbor spans. Nothing is allocated per node-round.
+//
+// Semantics are the reliable (fault-free) sleeping model of
+// sim::Network, and the accounting is bitwise-compatible: a protocol
+// ported to this engine reproduces the coroutine engine's outputs and
+// sim::Metrics exactly (tests/bulk_engine_test.cc pins this). Fault
+// injection (crashes, message loss) stays coroutine-only.
+//
+// Virtual rounds are tracked in 128 bits: Algorithm 1's schedule spans
+// T(K) = 3(2^K - 1) rounds with K = ceil(3 log2 n), which overflows 64
+// bits for n > ~2M. Values stored into the (64-bit) sim::Metrics fields
+// saturate at 2^64-1; at cross-validation sizes the saturation is the
+// identity, so equivalence with the coroutine engine is exact there.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/metrics.h"
+#include "sim/network.h"  // sim::CongestViolation, congest_bits_for
+#include "util/rng.h"
+
+namespace slumber::bulk {
+
+/// 128-bit virtual round clock (see the header comment).
+using VirtualRound = unsigned __int128;
+
+/// Saturating narrow to the 64-bit sim::Metrics round fields.
+inline std::uint64_t saturate_round(VirtualRound round) {
+  constexpr VirtualRound kMax = ~std::uint64_t{0};
+  return round > kMax ? ~std::uint64_t{0} : static_cast<std::uint64_t>(round);
+}
+
+struct BulkOptions {
+  /// CONGEST budget in bits; 0 disables the check (same contract as
+  /// sim::NetworkOptions).
+  std::uint32_t max_message_bits = 0;
+  /// If true, a too-wide message throws sim::CongestViolation; otherwise
+  /// it is only counted in Metrics::congest_violations.
+  bool throw_on_congest_violation = true;
+};
+
+struct BulkResult {
+  sim::Metrics metrics;
+  std::vector<std::int64_t> outputs;
+  /// Exact (un-saturated) makespan in virtual rounds.
+  VirtualRound virtual_makespan = 0;
+};
+
+/// The shared accounting and awake-set substrate bulk protocols run on.
+///
+/// A protocol executes one virtual round by (1) mark_awake() with the
+/// round's awake set, (2) charge_round(), (3) iterating the set doing
+/// its own logic over CSR spans, calling the charge_* accounting
+/// methods, decide(), and finish() as it goes. Rounds whose awake set
+/// is unchanged (e.g. the three communication rounds of one
+/// SleepingMISRecursive frame) may skip re-marking.
+class BulkEngine {
+ public:
+  BulkEngine(const Graph& g, std::uint64_t seed, BulkOptions options = {});
+
+  const Graph& graph() const { return graph_; }
+  std::uint64_t n() const { return graph_.num_vertices(); }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Per-node RNG stream; identical to the stream sim::Network hands the
+  /// node's Context (Rng(seed).split(v)), so protocols that draw in the
+  /// same per-node order reproduce coroutine runs bit for bit.
+  Rng node_rng(VertexId v) const { return master_.split(v); }
+
+  // --- awake-set lifecycle ------------------------------------------
+
+  /// Installs `awake` as the current awake set (epoch stamp, O(|awake|)).
+  void mark_awake(std::span<const VertexId> awake);
+
+  /// True iff v is in the current awake set.
+  bool is_awake(VertexId v) const { return awake_epoch_[v] == epoch_; }
+
+  /// Charges one awake round at virtual round `round` to every node of
+  /// `awake` (which must equal the currently marked set).
+  void charge_round(std::span<const VertexId> awake, VirtualRound round);
+
+  // --- message accounting -------------------------------------------
+
+  /// Sender-side accounting: v attempted `attempted` sends of a
+  /// `bits`-wide message, of which `delivered` reached awake nodes (the
+  /// rest are dropped, as the sleeping model specifies).
+  void charge_send(VertexId v, std::uint64_t attempted,
+                   std::uint64_t delivered, std::uint32_t bits);
+
+  /// Receiver-side accounting: v received `count` messages this round.
+  void charge_received(VertexId v, std::uint64_t count) {
+    metrics_.node[v].messages_received += count;
+  }
+
+  /// Symmetric broadcast shorthand for rounds in which every awake node
+  /// broadcasts on all ports: v sends deg(v), of which `awake_neighbors`
+  /// are delivered, and receives exactly `awake_neighbors` in turn.
+  void charge_symmetric_broadcast(VertexId v, std::uint64_t awake_neighbors,
+                                  std::uint32_t bits) {
+    charge_send(v, graph_.degree(v), awake_neighbors, bits);
+    charge_received(v, awake_neighbors);
+  }
+
+  // --- outputs ------------------------------------------------------
+
+  /// Records v's output and decision instant. Idempotent like
+  /// Context::decide: only the first call sticks.
+  void decide(VertexId v, std::int64_t output, VirtualRound round);
+
+  /// Records v's termination round (awake + trailing sleep, matching
+  /// the coroutine scheduler's finish_round convention).
+  void finish(VertexId v, VirtualRound round);
+
+  bool decided(VertexId v) const { return decided_[v] != 0; }
+  std::int64_t output(VertexId v) const { return outputs_[v]; }
+
+  sim::Metrics& metrics() { return metrics_; }
+
+  /// Finalizes makespan and moves the run's results out.
+  BulkResult take_result();
+
+ private:
+  const Graph& graph_;
+  BulkOptions options_;
+  std::uint64_t seed_;
+  Rng master_;
+  sim::Metrics metrics_;
+  std::vector<std::int64_t> outputs_;
+  std::vector<std::uint8_t> decided_;
+  std::vector<std::uint64_t> awake_epoch_;
+  std::uint64_t epoch_ = 0;
+  VirtualRound virtual_makespan_ = 0;
+};
+
+/// A protocol implemented against BulkEngine. One instance drives all
+/// nodes of one run (flat state belongs to the protocol object).
+class BulkProtocol {
+ public:
+  virtual ~BulkProtocol() = default;
+  virtual std::string_view name() const = 0;
+  virtual void run(BulkEngine& engine) = 0;
+};
+
+/// Runs `protocol` over `g` and returns metrics + outputs; the bulk
+/// analogue of sim::run_protocol.
+BulkResult run_bulk(const Graph& g, std::uint64_t seed,
+                    BulkProtocol& protocol, BulkOptions options = {});
+
+}  // namespace slumber::bulk

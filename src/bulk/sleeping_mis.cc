@@ -1,0 +1,239 @@
+#include "bulk/sleeping_mis.h"
+
+#include <numeric>
+#include <utility>
+
+#include "core/mis_state.h"
+#include "core/schedule.h"
+#include "sim/message.h"
+
+namespace slumber::bulk {
+namespace {
+
+using core::MisValue;
+
+/// T(k) = 3(2^k - 1) in 128 bits (core::schedule_duration overflows
+/// std::uint64_t for k >= 62, which n = 10M reaches: K = 70).
+VirtualRound duration128(std::uint32_t k) {
+  return (VirtualRound{1} << k) * 3 - 3;
+}
+
+// The recursion walker. Depth-first order over the recursion tree is
+// exactly virtual-time order: a frame at parameter k starting at round s
+// owns [s, s+T(k)-1], partitioned into its first detection round {s},
+// the left child's window, the synchronization round, the second
+// detection round, and the right child's window.
+struct Walker {
+  BulkEngine& eng;
+  const Graph& g;
+  core::RecursionTrace* trace;
+  std::uint32_t words_per_node;  // packed coin bits, bit i of node v at
+                                 // bits[v*words + i/64] >> (i%64)
+  std::vector<std::uint64_t> bits;
+  std::vector<std::uint8_t> value;  // MisValue per node
+  std::uint32_t hello_bits;
+  std::uint32_t status_bits;
+
+  bool coin(VertexId v, std::uint32_t i) const {
+    return (bits[std::uint64_t{v} * words_per_node + i / 64] >> (i % 64)) & 1;
+  }
+
+  /// Lines 9-12 of the paper: the k = 0 base case. It spends no rounds;
+  /// its code runs during the resume of the parent's preceding
+  /// communication round, so decisions are stamped with that round.
+  void base_case(std::uint64_t path, VirtualRound decide_round,
+                 const std::vector<VertexId>& members) {
+    if (trace != nullptr) {
+      trace->calls[{0, path}].participants += members.size();
+    }
+    for (const VertexId v : members) {
+      if (value[v] == static_cast<std::uint8_t>(MisValue::kUnknown)) {
+        value[v] = static_cast<std::uint8_t>(MisValue::kTrue);
+        eng.decide(v, 1, decide_round);
+      }
+    }
+  }
+
+  void frame(std::uint32_t k, std::uint64_t path, VirtualRound start,
+             std::vector<VertexId> members) {
+    core::CallStats* stats = nullptr;
+    if (trace != nullptr) {
+      stats = &trace->calls[{k, path}];
+      stats->participants += members.size();
+      stats->first_round =
+          std::min(stats->first_round, saturate_round(start));
+    }
+
+    // First isolated-node detection (lines 13-16), 1 round: only this
+    // frame's members are awake, so "no awake neighbor" means "isolated
+    // in G[U]".
+    eng.mark_awake(members);
+    eng.charge_round(members, start);
+    for (const VertexId v : members) {
+      std::uint64_t awake_nbrs = 0;
+      for (const VertexId u : g.neighbors(v)) {
+        awake_nbrs += eng.is_awake(u) ? 1 : 0;
+      }
+      eng.charge_symmetric_broadcast(v, awake_nbrs, hello_bits);
+      if (awake_nbrs == 0 &&
+          value[v] == static_cast<std::uint8_t>(MisValue::kUnknown)) {
+        value[v] = static_cast<std::uint8_t>(MisValue::kTrue);
+        eng.decide(v, 1, start);
+        if (stats != nullptr) ++stats->isolated_joins;
+      }
+    }
+
+    // Left recursion (lines 17-21): undecided members with X_k = 1.
+    std::vector<VertexId> left;
+    for (const VertexId v : members) {
+      if (value[v] == static_cast<std::uint8_t>(MisValue::kUnknown) &&
+          coin(v, k)) {
+        left.push_back(v);
+      }
+    }
+    if (stats != nullptr) stats->left += left.size();
+    if (!left.empty()) {
+      if (k == 1) {
+        base_case(path << 1, start, left);
+      } else {
+        frame(k - 1, path << 1, start + 1, std::move(left));
+      }
+    }
+    left = {};
+
+    // Synchronization step (lines 22-25), 1 round: an undecided node
+    // with an MIS neighbor in the frame is eliminated. Only
+    // Unknown -> False transitions happen here, so the in-place status
+    // scan observes the same "has a kTrue neighbor" predicate the
+    // coroutine engine's message snapshot does.
+    const VirtualRound sync = start + duration128(k - 1) + 1;
+    eng.mark_awake(members);  // children bumped the epoch during the left call
+    eng.charge_round(members, sync);
+    for (const VertexId v : members) {
+      std::uint64_t awake_nbrs = 0;
+      bool mis_neighbor = false;
+      for (const VertexId u : g.neighbors(v)) {
+        if (!eng.is_awake(u)) continue;
+        ++awake_nbrs;
+        mis_neighbor |=
+            value[u] == static_cast<std::uint8_t>(MisValue::kTrue);
+      }
+      eng.charge_symmetric_broadcast(v, awake_nbrs, status_bits);
+      if (mis_neighbor &&
+          value[v] == static_cast<std::uint8_t>(MisValue::kUnknown)) {
+        value[v] = static_cast<std::uint8_t>(MisValue::kFalse);
+        eng.decide(v, 0, sync);
+      }
+    }
+
+    // Second isolated-node detection (lines 26-29), 1 round: an
+    // undecided node all of whose frame neighbors are eliminated joins.
+    // Only Unknown -> True transitions happen, and both Unknown and True
+    // block a neighbor's join, so the in-place scan is again exact.
+    const VirtualRound detect2 = sync + 1;
+    eng.charge_round(members, detect2);
+    for (const VertexId v : members) {
+      std::uint64_t awake_nbrs = 0;
+      bool all_eliminated = true;
+      for (const VertexId u : g.neighbors(v)) {
+        if (!eng.is_awake(u)) continue;
+        ++awake_nbrs;
+        all_eliminated &=
+            value[u] == static_cast<std::uint8_t>(MisValue::kFalse);
+      }
+      eng.charge_symmetric_broadcast(v, awake_nbrs, status_bits);
+      if (all_eliminated &&
+          value[v] == static_cast<std::uint8_t>(MisValue::kUnknown)) {
+        value[v] = static_cast<std::uint8_t>(MisValue::kTrue);
+        eng.decide(v, 1, detect2);
+      }
+    }
+
+    // Right recursion (lines 30-34): still-undecided members.
+    std::vector<VertexId> right;
+    for (const VertexId v : members) {
+      if (value[v] == static_cast<std::uint8_t>(MisValue::kUnknown)) {
+        right.push_back(v);
+      }
+    }
+    if (stats != nullptr) stats->right += right.size();
+    if (!right.empty()) {
+      if (k == 1) {
+        base_case((path << 1) | 1, detect2, right);
+      } else {
+        frame(k - 1, (path << 1) | 1, detect2 + 1, std::move(right));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void BulkSleepingMis::run(BulkEngine& engine) {
+  const Graph& g = engine.graph();
+  const std::uint64_t n = g.num_vertices();
+  if (n == 0) return;
+  const std::uint32_t levels =
+      options_.levels != 0 ? options_.levels : core::recursion_depth(n);
+
+  Walker w{engine,
+           g,
+           trace_,
+           levels / 64 + 1,
+           {},
+           {},
+           sim::Message::hello().bits,
+           sim::Message::status(0).bits};
+  w.bits.assign(n * w.words_per_node, 0);
+  w.value.assign(n, static_cast<std::uint8_t>(core::MisValue::kUnknown));
+
+  // Draw the coin bits X_1..X_K from the same per-node streams, in the
+  // same order, as core::sleeping_mis's node_main.
+  if (trace_ != nullptr) {
+    trace_->levels = levels;
+    if (trace_->bits.size() != n) trace_->bits.resize(n);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    Rng rng = engine.node_rng(v);
+    const std::uint64_t base = std::uint64_t{v} * w.words_per_node;
+    for (std::uint32_t i = 1; i <= levels; ++i) {
+      if (rng.bernoulli(options_.coin_bias)) {
+        w.bits[base + i / 64] |= std::uint64_t{1} << (i % 64);
+      }
+    }
+    if (trace_ != nullptr) {
+      std::vector<std::uint8_t>& node_bits = trace_->bits[v];
+      node_bits.assign(levels + 1, 0);
+      for (std::uint32_t i = 1; i <= levels; ++i) {
+        node_bits[i] = w.coin(v, i) ? 1 : 0;
+      }
+    }
+  }
+
+  std::vector<VertexId> everyone(n);
+  std::iota(everyone.begin(), everyone.end(), VertexId{0});
+
+  if (levels == 0) {
+    // K = 0: the whole run is the base case, executed at round 0 with no
+    // communication (matches the coroutine engine on n <= 1).
+    w.base_case(0, 0, everyone);
+    for (VertexId v = 0; v < n; ++v) engine.finish(v, 0);
+    return;
+  }
+
+  // The root frame owns rounds [1, T(K)]; every node returns at T(K)
+  // (Lemma 1's synchronization guarantee), trailing sleeps included.
+  w.frame(levels, 0, 1, std::move(everyone));
+  const VirtualRound total = duration128(levels);
+  for (VertexId v = 0; v < n; ++v) engine.finish(v, total);
+}
+
+BulkResult bulk_sleeping_mis(const Graph& g, std::uint64_t seed,
+                             core::SleepingMisOptions options,
+                             core::RecursionTrace* trace,
+                             BulkOptions engine_options) {
+  BulkSleepingMis protocol(options, trace);
+  return run_bulk(g, seed, protocol, engine_options);
+}
+
+}  // namespace slumber::bulk

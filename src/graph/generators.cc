@@ -10,7 +10,11 @@ namespace slumber::gen {
 Graph empty(VertexId n) { return Graph(n, {}); }
 
 Graph complete(VertexId n) {
+  const std::uint64_t m =
+      n < 2 ? 0 : checked_edge_count(std::uint64_t{n} * (n - 1) / 2,
+                                     "complete");
   GraphBuilder builder(n);
+  builder.reserve(m);
   for (VertexId u = 0; u < n; ++u) {
     for (VertexId v = u + 1; v < n; ++v) builder.add_edge(u, v);
   }
@@ -20,24 +24,30 @@ Graph complete(VertexId n) {
 Graph cycle(VertexId n) {
   if (n < 3) throw std::invalid_argument("cycle: need n >= 3");
   GraphBuilder builder(n);
+  builder.reserve(n);
   for (VertexId v = 0; v < n; ++v) builder.add_edge(v, (v + 1) % n);
   return std::move(builder).build();
 }
 
 Graph path(VertexId n) {
   GraphBuilder builder(n);
+  builder.reserve(n > 0 ? n - 1 : 0);
   for (VertexId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
   return std::move(builder).build();
 }
 
 Graph star(VertexId n) {
   GraphBuilder builder(n);
+  builder.reserve(n > 0 ? n - 1 : 0);
   for (VertexId v = 1; v < n; ++v) builder.add_edge(0, v);
   return std::move(builder).build();
 }
 
 Graph complete_bipartite(VertexId a, VertexId b) {
-  GraphBuilder builder(a + b);
+  GraphBuilder builder(
+      checked_vertex_count(std::uint64_t{a} + b, "complete_bipartite"));
+  builder.reserve(
+      checked_edge_count(std::uint64_t{a} * b, "complete_bipartite"));
   for (VertexId u = 0; u < a; ++u) {
     for (VertexId v = 0; v < b; ++v) builder.add_edge(u, a + v);
   }
@@ -45,7 +55,12 @@ Graph complete_bipartite(VertexId a, VertexId b) {
 }
 
 Graph grid(VertexId rows, VertexId cols) {
-  GraphBuilder builder(rows * cols);
+  GraphBuilder builder(
+      checked_vertex_count(std::uint64_t{rows} * cols, "grid"));
+  if (rows > 0 && cols > 0) {
+    builder.reserve(std::uint64_t{rows} * (cols - 1) +
+                    std::uint64_t{rows - 1} * cols);
+  }
   auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
   for (VertexId r = 0; r < rows; ++r) {
     for (VertexId c = 0; c < cols; ++c) {
@@ -58,7 +73,9 @@ Graph grid(VertexId rows, VertexId cols) {
 
 Graph torus(VertexId rows, VertexId cols) {
   if (rows < 3 || cols < 3) throw std::invalid_argument("torus: need >= 3x3");
-  GraphBuilder builder(rows * cols);
+  GraphBuilder builder(
+      checked_vertex_count(std::uint64_t{rows} * cols, "torus"));
+  builder.reserve(2 * std::uint64_t{rows} * cols);
   auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
   for (VertexId r = 0; r < rows; ++r) {
     for (VertexId c = 0; c < cols; ++c) {
@@ -70,8 +87,10 @@ Graph torus(VertexId rows, VertexId cols) {
 }
 
 Graph hypercube(std::uint32_t d) {
+  if (d >= 32) throw std::overflow_error("hypercube: 2^d overflows VertexId");
   const VertexId n = VertexId{1} << d;
   GraphBuilder builder(n);
+  builder.reserve(std::uint64_t{n} * d / 2);
   for (VertexId v = 0; v < n; ++v) {
     for (std::uint32_t bit = 0; bit < d; ++bit) {
       const VertexId u = v ^ (VertexId{1} << bit);
@@ -83,6 +102,7 @@ Graph hypercube(std::uint32_t d) {
 
 Graph binary_tree(VertexId n) {
   GraphBuilder builder(n);
+  builder.reserve(n > 0 ? n - 1 : 0);
   for (VertexId v = 1; v < n; ++v) builder.add_edge(v, (v - 1) / 2);
   return std::move(builder).build();
 }
@@ -90,6 +110,11 @@ Graph binary_tree(VertexId n) {
 Graph lollipop(VertexId n, VertexId clique_size) {
   if (clique_size > n) throw std::invalid_argument("lollipop: clique > n");
   GraphBuilder builder(n);
+  builder.reserve(checked_edge_count(
+      (clique_size < 2 ? 0
+                       : std::uint64_t{clique_size} * (clique_size - 1) / 2) +
+          (n - clique_size),
+      "lollipop"));
   for (VertexId u = 0; u < clique_size; ++u) {
     for (VertexId v = u + 1; v < clique_size; ++v) builder.add_edge(u, v);
   }
@@ -98,8 +123,10 @@ Graph lollipop(VertexId n, VertexId clique_size) {
 }
 
 Graph caterpillar(VertexId spine, VertexId legs) {
-  const VertexId n = spine + spine * legs;
+  const VertexId n = checked_vertex_count(
+      std::uint64_t{spine} * (std::uint64_t{legs} + 1), "caterpillar");
   GraphBuilder builder(n);
+  builder.reserve(n > 0 ? n - 1 : 0);
   for (VertexId s = 0; s + 1 < spine; ++s) builder.add_edge(s, s + 1);
   for (VertexId s = 0; s < spine; ++s) {
     for (VertexId leg = 0; leg < legs; ++leg) {
@@ -112,6 +139,14 @@ Graph caterpillar(VertexId spine, VertexId legs) {
 Graph clique_chain(VertexId n, VertexId clique_size) {
   if (clique_size == 0) throw std::invalid_argument("clique_chain: k == 0");
   GraphBuilder builder(n);
+  {
+    const std::uint64_t k = clique_size;
+    const std::uint64_t full = n / clique_size;
+    const std::uint64_t rest = n % clique_size;
+    builder.reserve(checked_edge_count(
+        full * (k * (k - 1) / 2) + rest * (rest - (rest > 0 ? 1 : 0)) / 2,
+        "clique_chain"));
+  }
   for (VertexId base = 0; base < n; base += clique_size) {
     const VertexId end = std::min<VertexId>(base + clique_size, n);
     for (VertexId u = base; u < end; ++u) {
@@ -125,7 +160,20 @@ Graph gnp(VertexId n, double p, Rng& rng) {
   GraphBuilder builder(n);
   if (p <= 0.0 || n < 2) return std::move(builder).build();
   if (p >= 1.0) return complete(n);
-  // Geometric skipping (Batagelj-Brandes): O(n + m) expected.
+  // Reserve for the expected edge count plus 4 sigma of binomial slack,
+  // so the builder almost never reallocates (and never doubles peak
+  // memory at the 10M-node scale the bulk engine targets).
+  const double pairs = 0.5 * static_cast<double>(n) *
+                       static_cast<double>(n - 1);
+  const double mean = p * pairs;
+  builder.reserve(static_cast<std::size_t>(
+      mean + 4.0 * std::sqrt(mean * (1.0 - p)) + 16.0));
+  // Geometric skipping (Batagelj-Brandes): O(n + m) expected. Edges are
+  // staged through a fixed-size chunk and flushed via add_edges, the
+  // streaming construction path.
+  std::vector<Edge> chunk;
+  constexpr std::size_t kChunk = 1 << 14;
+  chunk.reserve(kChunk);
   const double log1mp = std::log1p(-p);
   std::int64_t v = 1;
   std::int64_t w = -1;
@@ -138,9 +186,14 @@ Graph gnp(VertexId n, double p, Rng& rng) {
       ++v;
     }
     if (v < nn) {
-      builder.add_edge(static_cast<VertexId>(w), static_cast<VertexId>(v));
+      chunk.push_back({static_cast<VertexId>(w), static_cast<VertexId>(v)});
+      if (chunk.size() == kChunk) {
+        builder.add_edges(chunk);
+        chunk.clear();
+      }
     }
   }
+  builder.add_edges(chunk);
   return std::move(builder).build();
 }
 
@@ -163,6 +216,7 @@ Graph random_tree(VertexId n, Rng& rng) {
     if (deg[v] == 1) leaves.insert(v);
   }
   GraphBuilder builder(n);
+  builder.reserve(n - 1);
   for (VertexId x : pruefer) {
     const VertexId leaf = *leaves.begin();
     leaves.erase(leaves.begin());
@@ -214,8 +268,12 @@ Graph barabasi_albert(VertexId n, std::uint32_t m, Rng& rng) {
   const VertexId seed_size = std::max<VertexId>(m + 1, 2);
   if (n <= seed_size) return complete(n);
   GraphBuilder builder(n);
+  builder.reserve(std::uint64_t{seed_size} * (seed_size - 1) / 2 +
+                  std::uint64_t{n - seed_size} * m);
   // Repeated-endpoint list: attachment proportional to degree.
   std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(std::uint64_t{seed_size} * (seed_size - 1) +
+                        2 * std::uint64_t{n - seed_size} * m);
   for (VertexId u = 0; u < seed_size; ++u) {
     for (VertexId v = u + 1; v < seed_size; ++v) {
       builder.add_edge(u, v);
@@ -258,6 +316,11 @@ Graph random_geometric(VertexId n, double radius, Rng& rng,
   }
   const double r2 = radius * radius;
   GraphBuilder builder(n);
+  // Expected |E| ~ C(n,2) * pi r^2 (slight overestimate near the border).
+  builder.reserve(static_cast<std::size_t>(
+      0.5 * static_cast<double>(n) * static_cast<double>(n) *
+          std::min(1.0, 3.14159265358979323846 * r2) +
+      16.0));
   for (VertexId v = 0; v < n; ++v) {
     const std::int64_t cx = cell_of(pts[v].first);
     const std::int64_t cy = cell_of(pts[v].second);

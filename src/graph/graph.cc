@@ -1,12 +1,31 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 namespace slumber {
 
+VertexId checked_vertex_count(std::uint64_t n, const char* what) {
+  if (n > std::numeric_limits<VertexId>::max()) {
+    throw std::overflow_error(std::string(what) + ": vertex count " +
+                              std::to_string(n) + " overflows VertexId");
+  }
+  return static_cast<VertexId>(n);
+}
+
+std::uint64_t checked_edge_count(std::uint64_t m, const char* what) {
+  if (m > std::numeric_limits<EdgeId>::max()) {
+    throw std::overflow_error(std::string(what) + ": edge count " +
+                              std::to_string(m) + " overflows EdgeId");
+  }
+  return m;
+}
+
 Graph::Graph(VertexId n, std::vector<Edge> edges) : n_(n) {
+  checked_edge_count(edges.size(), "Graph");
   for (Edge& e : edges) {
     if (e.u >= n || e.v >= n) {
       throw std::invalid_argument("Graph: edge endpoint out of range");
@@ -25,11 +44,11 @@ Graph::Graph(VertexId n, std::vector<Edge> edges) : n_(n) {
     ++deg[e.u];
     ++deg[e.v];
   }
-  offsets_.assign(n + 1, 0);
+  offsets_.assign(std::uint64_t{n} + 1, 0);
   for (VertexId v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + deg[v];
   adjacency_.resize(offsets_[n]);
 
-  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  std::vector<CsrOffset> cursor(offsets_.begin(), offsets_.end() - 1);
   for (const Edge& e : edges_) {
     adjacency_[cursor[e.u]++] = e.v;
     adjacency_[cursor[e.v]++] = e.u;
@@ -75,7 +94,8 @@ std::pair<Graph, std::vector<VertexId>> Graph::induced(
 }
 
 Graph Graph::line_graph() const {
-  const auto m = static_cast<VertexId>(edges_.size());
+  const auto m =
+      checked_vertex_count(edges_.size(), "Graph::line_graph");
   // Bucket edge ids by endpoint; any two edge ids in the same bucket are
   // adjacent in the line graph.
   std::vector<std::vector<EdgeId>> incident(n_);
@@ -98,6 +118,14 @@ Graph Graph::line_graph() const {
 std::string Graph::summary() const {
   return "n=" + std::to_string(n_) + " m=" + std::to_string(edges_.size()) +
          " maxdeg=" + std::to_string(max_degree_);
+}
+
+void GraphBuilder::add_edges(std::span<const Edge> edges) {
+  const std::size_t needed = edges_.size() + edges.size();
+  if (needed > edges_.capacity()) {
+    edges_.reserve(std::max(needed, edges_.size() + edges_.size() / 2));
+  }
+  for (const Edge& e : edges) edges_.push_back(normalize(e.u, e.v));
 }
 
 Graph GraphBuilder::build() && {

@@ -20,12 +20,20 @@
 
 namespace slumber {
 
-/// Dense vertex identifier. Graphs in this library are laptop-scale
-/// (n up to a few million), so 32 bits suffice.
+/// Dense vertex identifier. 32 bits cover the bulk engine's 10M+-node
+/// regime with headroom to ~4.29 billion vertices; constructors guard
+/// against counts that would wrap (see checked_vertex_count below).
 using VertexId = std::uint32_t;
 
 /// Identifier of an undirected edge (index into Graph::edges()).
+/// Graph construction throws if an edge set would overflow this type.
 using EdgeId = std::uint32_t;
+
+/// CSR offset type. Explicitly 64-bit (not size_t, which is 32-bit on
+/// some platforms): adjacency holds 2|E| entries, which exceeds 2^32
+/// well before |E| overflows EdgeId.
+using CsrOffset = std::uint64_t;
+static_assert(sizeof(CsrOffset) == 8, "CSR offsets must be 64-bit");
 
 /// Sentinel for "no vertex".
 inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
@@ -73,6 +81,11 @@ class Graph {
     return adjacency_[offsets_[v] + port];
   }
 
+  /// CSR offset of v's first adjacency slot: adjacency_offset(v) + port
+  /// indexes flat per-directed-edge state arrays (the bulk engine's
+  /// per-port protocol state, e.g. Israeli-Itai active ports).
+  CsrOffset adjacency_offset(VertexId v) const { return offsets_[v]; }
+
   /// Port of v that leads to neighbor u, or -1 if {v,u} is not an edge.
   /// Logarithmic in deg(v).
   std::int64_t port_to(VertexId v, VertexId u) const;
@@ -105,19 +118,43 @@ class Graph {
  private:
   VertexId n_ = 0;
   std::uint32_t max_degree_ = 0;
-  std::vector<std::size_t> offsets_;   // size n_+1
+  std::vector<CsrOffset> offsets_;     // size n_+1
   std::vector<VertexId> adjacency_;    // size 2|E|
   std::vector<Edge> edges_;            // sorted, normalized
 };
 
+/// Narrows a 64-bit vertex count to VertexId, throwing std::overflow_error
+/// (naming `what`) when the count cannot be represented. Generators use
+/// this so products like rows*cols fail loudly instead of wrapping.
+VertexId checked_vertex_count(std::uint64_t n, const char* what);
+
+/// Guards a 64-bit edge count against EdgeId overflow; returns the count.
+std::uint64_t checked_edge_count(std::uint64_t m, const char* what);
+
 /// Incremental builder for Graph. Tolerates duplicate edges and
 /// both edge orientations; rejects self-loops at build() time.
+///
+/// At 10M+-node scale the edge buffer dominates peak memory, so callers
+/// that know (or can bound) their edge count should reserve() ahead:
+/// push_back growth doubles the buffer, briefly holding ~3x the final
+/// footprint during the reallocation copy. The streaming path is
+/// reserve() once, then add_edges() in chunks.
 class GraphBuilder {
  public:
   explicit GraphBuilder(VertexId n) : n_(n) {}
 
+  /// Pre-allocates space for `edges` edges so subsequent add_edge /
+  /// add_edges calls never trigger doubling reallocation.
+  void reserve(std::size_t edges) { edges_.reserve(edges); }
+
   /// Adds the undirected edge {u, v}.
   void add_edge(VertexId u, VertexId v) { edges_.push_back(normalize(u, v)); }
+
+  /// Chunked bulk append: normalizes and appends every edge of `edges`.
+  /// Grows by at least 1.5x when capacity is exceeded (instead of the
+  /// default doubling), so un-reserved streaming callers cap the
+  /// transient overshoot; reserve()-ahead callers never reallocate.
+  void add_edges(std::span<const Edge> edges);
 
   /// Number of vertices the builder was created with.
   VertexId num_vertices() const { return n_; }

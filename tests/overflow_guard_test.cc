@@ -1,0 +1,99 @@
+// Guards for the 32-bit arithmetic hazards that appear at the bulk
+// engine's 10M+-node scale: vertex-count products that would silently
+// wrap VertexId, edge counts that would overflow EdgeId, and the CSR
+// offset width (2|E| adjacency slots exceed 2^32 well before |E|
+// overflows EdgeId, so offsets must be 64-bit on every platform).
+#include <cstdint>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace slumber {
+namespace {
+
+static_assert(sizeof(CsrOffset) == 8, "CSR offsets must be 64-bit");
+static_assert(sizeof(Graph{}.adjacency_offset(0)) == 8,
+              "adjacency_offset must expose the 64-bit offset type");
+
+TEST(OverflowGuards, CheckedVertexCountPassesAndThrows) {
+  EXPECT_EQ(checked_vertex_count(0, "t"), 0u);
+  EXPECT_EQ(checked_vertex_count(10'000'000, "t"), 10'000'000u);
+  EXPECT_EQ(checked_vertex_count(std::uint64_t{0xFFFFFFFF}, "t"), 0xFFFFFFFFu);
+  EXPECT_THROW(checked_vertex_count(std::uint64_t{1} << 32, "t"),
+               std::overflow_error);
+  EXPECT_THROW(checked_vertex_count(~std::uint64_t{0}, "t"),
+               std::overflow_error);
+}
+
+TEST(OverflowGuards, CheckedEdgeCountPassesAndThrows) {
+  EXPECT_EQ(checked_edge_count(40'000'000, "t"), 40'000'000u);
+  EXPECT_THROW(checked_edge_count(std::uint64_t{1} << 33, "t"),
+               std::overflow_error);
+}
+
+TEST(OverflowGuards, GridProductWouldWrapToZero) {
+  // 2^16 x 2^16 = 2^32 wraps to exactly 0 in 32-bit arithmetic; the
+  // guard must throw before any edge buffer is populated.
+  EXPECT_THROW(gen::grid(1u << 16, 1u << 16), std::overflow_error);
+  EXPECT_THROW(gen::torus(1u << 16, 1u << 16), std::overflow_error);
+}
+
+TEST(OverflowGuards, CompleteGraphEdgeCountGuard) {
+  // K_131072 has ~8.6e9 edges > 2^32: must throw before allocating.
+  EXPECT_THROW(gen::complete(1u << 17), std::overflow_error);
+}
+
+TEST(OverflowGuards, CompleteBipartiteGuards) {
+  EXPECT_THROW(gen::complete_bipartite(1u << 17, 1u << 17),
+               std::overflow_error);
+  EXPECT_THROW(gen::complete_bipartite(0xFFFFFFFFu, 2), std::overflow_error);
+}
+
+TEST(OverflowGuards, CaterpillarVertexCountGuard) {
+  EXPECT_THROW(gen::caterpillar(1u << 28, 1u << 5), std::overflow_error);
+}
+
+TEST(OverflowGuards, HypercubeDimensionGuard) {
+  EXPECT_THROW(gen::hypercube(32), std::overflow_error);
+  EXPECT_THROW(gen::hypercube(63), std::overflow_error);
+}
+
+TEST(OverflowGuards, GuardedGeneratorsStillWorkAtNormalSizes) {
+  EXPECT_EQ(gen::grid(50, 40).num_vertices(), 2000u);
+  EXPECT_EQ(gen::complete(64).num_edges(), 64u * 63 / 2);
+  EXPECT_EQ(gen::complete_bipartite(30, 20).num_edges(), 600u);
+  EXPECT_EQ(gen::caterpillar(10, 3).num_vertices(), 40u);
+  EXPECT_EQ(gen::hypercube(5).num_vertices(), 32u);
+}
+
+TEST(GraphBuilder, AddEdgesSpanMatchesAddEdge) {
+  const std::vector<Edge> edges = {{3, 1}, {0, 2}, {2, 3}, {1, 0}, {0, 2}};
+  GraphBuilder chunked(4);
+  chunked.reserve(edges.size());
+  chunked.add_edges(std::span<const Edge>(edges).subspan(0, 2));
+  chunked.add_edges(std::span<const Edge>(edges).subspan(2));
+  GraphBuilder single(4);
+  for (const Edge& e : edges) single.add_edge(e.u, e.v);
+  const Graph a = std::move(chunked).build();
+  const Graph b = std::move(single).build();
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  // Orientation-normalized and deduplicated like add_edge.
+  EXPECT_EQ(a.num_edges(), 4u);
+}
+
+TEST(GraphBuilder, ReserveAheadAvoidsReallocation) {
+  GraphBuilder builder(1000);
+  builder.reserve(999);
+  for (VertexId v = 0; v + 1 < 1000; ++v) builder.add_edge(v, v + 1);
+  EXPECT_EQ(builder.num_added_edges(), 999u);
+  const Graph g = std::move(builder).build();
+  EXPECT_EQ(g.num_edges(), 999u);
+  EXPECT_EQ(g.degree_sum(), 2u * 999);
+}
+
+}  // namespace
+}  // namespace slumber

@@ -10,6 +10,11 @@
 # wall-clock and its exit status recorded. bench_sim_micro is a
 # google-benchmark binary with its own timing loop and is skipped here;
 # run it directly for microbenchmark numbers.
+#
+# bench_bulk_scaling is the heavyweight entry (~45 s: it climbs to an
+# n = 10M bulk SleepingMIS trial and self-checks engine equivalence);
+# it is run like every other bench so the large-n regime stays on the
+# committed perf trajectory.
 set -u -o pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)

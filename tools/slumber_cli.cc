@@ -5,6 +5,12 @@
 // (sweep); the default is all hardware threads. Results are bitwise
 // identical for every N.
 //
+// A global `--engine <coroutine|bulk>` flag selects the execution back
+// end for run / sweep / beep: the coroutine scheduler (default; every
+// MIS engine, fault injection, tracing) or the bulk flat-state engine
+// (sleeping / luby-a / luby-b / greedy, 10M+-node scale). The two are
+// bitwise interchangeable where they overlap.
+//
 //   slumber families
 //       List the built-in graph families.
 //   slumber engines
@@ -37,6 +43,8 @@
 
 #include "algos/beeping_mis.h"
 #include "algos/edge_coloring.h"
+#include "bulk/baselines.h"
+#include "bulk/engine.h"
 #include "algos/leader_election.h"
 #include "algos/matching.h"
 #include "algos/ruling_set.h"
@@ -59,9 +67,12 @@ namespace {
 
 using namespace slumber;
 
+// Execution back end selected by the global --engine flag.
+analysis::ExecEngine g_exec = analysis::ExecEngine::kCoroutine;
+
 int usage() {
   std::cerr <<
-      "usage: slumber [--threads N] <command> ...\n"
+      "usage: slumber [--threads N] [--engine coroutine|bulk] <command> ...\n"
       "  slumber families\n"
       "  slumber engines\n"
       "  slumber run <engine> <family> <n> [seed]\n"
@@ -96,21 +107,37 @@ int cmd_families() {
 
 int cmd_engines() {
   for (const auto engine : analysis::all_engines()) {
-    std::cout << analysis::engine_name(engine) << "\n";
+    std::cout << analysis::engine_name(engine)
+              << (analysis::engine_supports_bulk(engine) ? " [bulk]" : "")
+              << "\n";
   }
-  std::cout << "(aliases: sleeping fast luby-a luby-b greedy ghaffari)\n";
+  std::cout << "(aliases: sleeping fast luby-a luby-b greedy ghaffari; "
+               "[bulk] = also runs on --engine bulk)\n";
   return 0;
+}
+
+bool check_bulk_support(const analysis::MisEngine engine) {
+  if (g_exec == analysis::ExecEngine::kBulk &&
+      !analysis::engine_supports_bulk(engine)) {
+    std::cerr << "error: " << analysis::engine_name(engine)
+              << " has no bulk implementation (bulk supports: sleeping, "
+                 "luby-a, luby-b, greedy)\n";
+    return false;
+  }
+  return true;
 }
 
 int cmd_run(const analysis::MisEngine engine, const gen::Family family,
             const VertexId n, const std::uint64_t seed) {
+  if (!check_bulk_support(engine)) return 2;
   const Graph g = gen::make(family, n, seed);
   const auto bounds = arboricity_bounds(g);
   std::cout << "graph: " << g.summary() << " (" << gen::family_name(family)
             << ", arboricity in [" << bounds.lower << ", " << bounds.upper
             << "])\n";
-  const auto run = analysis::run_mis(engine, g, seed);
-  std::cout << "engine: " << analysis::engine_name(engine) << "\n"
+  const auto run = analysis::run_mis(engine, g, seed, nullptr, g_exec);
+  std::cout << "engine: " << analysis::engine_name(engine) << " ("
+            << analysis::exec_engine_name(g_exec) << " execution)\n"
             << "verify: " << analysis::check_mis(g, run.outputs).describe()
             << "\n"
             << "MIS size: " << run.mis_size << "\n\n";
@@ -136,6 +163,7 @@ int cmd_run(const analysis::MisEngine engine, const gen::Family family,
 
 int cmd_sweep(const analysis::MisEngine engine, const gen::Family family,
               const VertexId max_n, const std::uint32_t seeds) {
+  if (!check_bulk_support(engine)) return 2;
   analysis::Table table({"n", "node-avg awake", "worst awake", "worst rounds",
                          "invalid"});
   std::vector<double> ns;
@@ -144,7 +172,7 @@ int cmd_sweep(const analysis::MisEngine engine, const gen::Family family,
     const auto agg = analysis::aggregate_mis(
         engine,
         [&](std::uint64_t seed) { return gen::make(family, n, seed); },
-        7 * n, seeds);
+        7 * n, seeds, 0, g_exec);
     ns.push_back(n);
     awake.push_back(agg.node_avg_awake_mean);
     table.add_row({analysis::Table::num(std::uint64_t{n}),
@@ -259,10 +287,22 @@ int cmd_ruling_set(const analysis::MisEngine engine, const gen::Family family,
 int cmd_beep(const gen::Family family, const VertexId n,
              const std::uint64_t seed) {
   const Graph g = gen::make(family, n, seed);
-  sim::NetworkOptions options;
-  options.max_message_bits = 1;
-  auto [metrics, outputs] =
-      sim::run_protocol(g, seed, algos::beeping_mis(), options);
+  sim::Metrics metrics;
+  std::vector<std::int64_t> outputs;
+  if (g_exec == analysis::ExecEngine::kBulk) {
+    bulk::BulkOptions options;
+    options.max_message_bits = 1;
+    bulk::BulkBeepingMis protocol;
+    auto result = bulk::run_bulk(g, seed, protocol, options);
+    metrics = std::move(result.metrics);
+    outputs = std::move(result.outputs);
+  } else {
+    sim::NetworkOptions options;
+    options.max_message_bits = 1;
+    auto result = sim::run_protocol(g, seed, algos::beeping_mis(), options);
+    metrics = std::move(result.metrics);
+    outputs = std::move(result.outputs);
+  }
   const auto check = analysis::check_mis(g, outputs);
   std::cout << "graph: " << g.summary() << "\n"
             << "verify: " << check.describe() << "\n"
@@ -301,7 +341,8 @@ int cmd_leader(const gen::Family family, const VertexId n,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global --threads flag (valid anywhere) before dispatch.
+  // Strip the global --threads / --engine flags (valid anywhere) before
+  // dispatch.
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -310,6 +351,13 @@ int main(int argc, char** argv) {
       const int threads = std::atoi(argv[++i]);
       if (threads <= 0) return usage();
       analysis::set_default_trial_threads(static_cast<unsigned>(threads));
+      continue;
+    }
+    if (std::string(argv[i]) == "--engine") {
+      if (i + 1 >= argc) return usage();
+      if (!analysis::exec_engine_from_name(argv[++i], &g_exec)) {
+        return usage();
+      }
       continue;
     }
     args.push_back(argv[i]);
