@@ -1,0 +1,122 @@
+// Intra-trial parallel bulk scaling: one n = 2M (default) SleepingMIS
+// bulk trial on G(n, 8/n), executed serially and then with the
+// per-frame node scans sharded over 2, 4, and hardware_threads() lanes.
+// Every sharded run is compared bitwise against the serial reference —
+// outputs, aggregate AND per-node sim::Metrics, and the exact 128-bit
+// virtual makespan — so this bench doubles as the determinism gate for
+// the parallel bulk path on the committed perf trajectory
+// (BENCH_baseline.json). The printed speedups are only meaningful on
+// multi-core machines; the bitwise check is meaningful everywhere.
+//
+//   bench_bulk_parallel [n] [seed]    (default: 2,000,000 / 1)
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "analysis/verify.h"
+#include "bulk/sleeping_mis.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+#include "util/parse.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace slumber;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// util::parse_uint that exits instead of returning false (bench args
+/// have no recovery path).
+std::uint64_t parse_uint_or_die(const std::string& token, const char* what,
+                                std::uint64_t max_value) {
+  std::uint64_t value = 0;
+  if (!util::parse_uint(token, what, &value, 0, max_value)) std::exit(2);
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const VertexId n =
+      argc > 1 ? static_cast<VertexId>(parse_uint_or_die(
+                     argv[1], "[n]", std::numeric_limits<VertexId>::max()))
+               : 2'000'000;
+  const std::uint64_t seed =
+      argc > 2 ? parse_uint_or_die(
+                     argv[2], "[seed]",
+                     std::numeric_limits<std::uint64_t>::max())
+               : 1;
+
+  std::cout << analysis::banner(
+      "intra-trial parallel bulk / SleepingMIS on G(n, 8/n), n = " +
+      std::to_string(n) + " (" +
+      std::to_string(util::ThreadPool::hardware_threads()) +
+      " hardware threads)");
+
+  Rng rng(seed);
+  const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
+  std::cout << "graph: " << g.summary() << "\n";
+
+  bulk::BulkOptions options;
+  options.max_message_bits = sim::congest_bits_for(g.num_vertices());
+
+  auto t0 = std::chrono::steady_clock::now();
+  const bulk::BulkResult serial =
+      bulk::bulk_sleeping_mis(g, seed, {}, nullptr, options);
+  const double serial_ms = ms_since(t0);
+  if (!analysis::check_mis(g, serial.outputs).ok()) {
+    std::cerr << "INVALID MIS from the serial bulk trial\n";
+    return 1;
+  }
+
+  std::vector<unsigned> lane_counts = {2, 4};
+  const unsigned hw = util::ThreadPool::hardware_threads();
+  if (hw > 4) lane_counts.push_back(hw);
+
+  analysis::Table table({"lanes", "run ms", "speedup", "bitwise"});
+  table.add_row({"1", analysis::Table::num(serial_ms, 0), "1.0x",
+                 "reference"});
+  bool all_bitwise = true;
+
+  for (const unsigned lanes : lane_counts) {
+    util::ThreadPool pool(lanes);
+    bulk::BulkOptions parallel_options = options;
+    parallel_options.pool = &pool;
+    t0 = std::chrono::steady_clock::now();
+    const bulk::BulkResult run =
+        bulk::bulk_sleeping_mis(g, seed, {}, nullptr, parallel_options);
+    const double run_ms = ms_since(t0);
+    const bool bitwise = run.outputs == serial.outputs &&
+                         run.metrics == serial.metrics &&
+                         run.virtual_makespan == serial.virtual_makespan;
+    all_bitwise = all_bitwise && bitwise;
+    table.add_row({analysis::Table::num(std::uint64_t{lanes}),
+                   analysis::Table::num(run_ms, 0),
+                   analysis::Table::num(serial_ms / std::max(run_ms, 1e-3),
+                                        2) +
+                       "x",
+                   bitwise ? "ok" : "MISMATCH"});
+  }
+
+  std::cout << table.render();
+  std::cout << "\nevery lane count must reproduce the serial trial bit for "
+               "bit (outputs, per-node + aggregate metrics, 128-bit virtual "
+               "makespan).\n";
+  if (!all_bitwise) {
+    std::cerr << "BITWISE MISMATCH across lane counts\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,7 +1,7 @@
 // Bulk-engine scaling: single-trial Sleeping MIS (Algorithm 1) at n up
-// to 10M nodes on G(n, 8/n) — the regime the coroutine scheduler cannot
-// reach (it pays ~K = ceil(3 log2 n) suspended coroutine frames per
-// node, and its 64-bit virtual clock itself overflows past n ~ 2M).
+// to 10M+ nodes on G(n, 8/n) — the regime the coroutine scheduler
+// cannot reach (it pays ~K = ceil(3 log2 n) suspended coroutine frames
+// per node, and its 64-bit virtual clock itself overflows past n ~ 2M).
 //
 // For each n the bench reports graph-build and run wall time, the
 // paper's awake measures (node-averaged awake must stay flat — Theorem
@@ -11,10 +11,26 @@
 // the coroutine engine on the identical seed and asserts the two
 // engines' outputs and metrics agree bitwise, then prints the speedup.
 //
-//   bench_bulk_scaling [max_n] [seeds]   (default: 10,000,000 / 1)
+// With `threads > 1` the per-frame node scans shard over a thread pool
+// (intra-trial parallelism); at n <= 1M every parallel trial is
+// re-executed serially and compared bitwise — outputs, aggregate AND
+// per-node metrics — which is the cross-check the bulk-large-n CI job
+// drives with `bench_bulk_scaling 1000000 1 2`.
+//
+// `--mem-diet` switches to the 10^8-node memory envelope: the graph is
+// streamed straight into CSR with no edge list (gen::gnp_avg_degree_csr)
+// and per-node sim::Metrics are disabled (aggregate counters, outputs,
+// and the MIS validity check remain exact). Example:
+//
+//   bench_bulk_scaling 100000000 1 8 --mem-diet
+//
+//   bench_bulk_scaling [max_n] [seeds] [threads] [--mem-diet]
+//       (default: 10,000,000 / 1 / 1)
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "analysis/experiment.h"
@@ -24,6 +40,8 @@
 #include "bulk/sleeping_mis.h"
 #include "graph/generators.h"
 #include "sim/network.h"
+#include "util/parse.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -39,17 +57,52 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 // inside a bench (memory: ~K suspended frames per node).
 constexpr VertexId kCoroutineLimit = 65536;
 
+// Largest n at which a parallel trial is re-run serially for the
+// bitwise thread cross-check.
+constexpr VertexId kThreadCheckLimit = 1'000'000;
+
+/// util::parse_uint that exits instead of returning false (bench args
+/// have no recovery path).
+std::uint64_t parse_uint_or_die(const std::string& token, const char* what,
+                                std::uint64_t max_value) {
+  std::uint64_t value = 0;
+  if (!util::parse_uint(token, what, &value, 0, max_value)) std::exit(2);
+  return value;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool mem_diet = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--mem-diet") {
+      mem_diet = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
   const VertexId max_n =
-      argc > 1 ? static_cast<VertexId>(std::atoll(argv[1])) : 10'000'000;
+      !args.empty()
+          ? static_cast<VertexId>(parse_uint_or_die(
+                args[0], "[max_n]", std::numeric_limits<VertexId>::max()))
+          : 10'000'000;
   const std::uint32_t seeds =
-      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 1;
+      args.size() > 1 ? static_cast<std::uint32_t>(parse_uint_or_die(
+                            args[1], "[seeds]",
+                            std::numeric_limits<std::uint32_t>::max()))
+                      : 1;
+  const unsigned threads =
+      args.size() > 2
+          ? static_cast<unsigned>(parse_uint_or_die(args[2], "[threads]", 1024))
+          : 1;
 
   std::cout << analysis::banner(
       "bulk engine scaling / SleepingMIS on G(n, 8/n), up to n = " +
-      std::to_string(max_n));
+      std::to_string(max_n) + ", " + std::to_string(threads) + " lane(s)" +
+      (mem_diet ? ", memory diet" : ""));
+
+  util::ThreadPool pool(threads == 0 ? 1 : threads);
 
   std::vector<VertexId> sizes;
   for (std::uint64_t n = 65536; n < max_n; n *= 8) {
@@ -67,12 +120,18 @@ int main(int argc, char** argv) {
       const std::uint64_t seed = analysis::trial_seed(19 * n, s);
       auto t0 = std::chrono::steady_clock::now();
       Rng rng(seed);
-      const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
+      // The diet path streams the identical edge set into CSR with no
+      // edge-list stage and leaves the RNG in the same state.
+      const Graph g = mem_diet ? gen::gnp_avg_degree_csr(n, 8.0, rng)
+                               : gen::gnp_avg_degree(n, 8.0, rng);
       const double build_ms = ms_since(t0);
 
-      t0 = std::chrono::steady_clock::now();
       bulk::BulkOptions options;
       options.max_message_bits = sim::congest_bits_for(g.num_vertices());
+      options.pool = pool.num_threads() > 1 ? &pool : nullptr;
+      options.node_metrics = !mem_diet;
+
+      t0 = std::chrono::steady_clock::now();
       const bulk::BulkResult bulk_run =
           bulk::bulk_sleeping_mis(g, seed, {}, nullptr, options);
       const double run_ms = ms_since(t0);
@@ -80,8 +139,24 @@ int main(int argc, char** argv) {
       const bool valid = analysis::check_mis(g, bulk_run.outputs).ok();
       all_valid = all_valid && valid;
 
+      // Bitwise thread cross-check: the sharded trial must reproduce
+      // the serial bulk trial exactly.
+      if (pool.num_threads() > 1 && n <= kThreadCheckLimit) {
+        bulk::BulkOptions serial_options = options;
+        serial_options.pool = nullptr;
+        const bulk::BulkResult serial_run =
+            bulk::bulk_sleeping_mis(g, seed, {}, nullptr, serial_options);
+        if (serial_run.outputs != bulk_run.outputs ||
+            !(serial_run.metrics == bulk_run.metrics) ||
+            serial_run.virtual_makespan != bulk_run.virtual_makespan) {
+          std::cerr << "THREAD-COUNT MISMATCH at n=" << n << " seed=" << seed
+                    << " (" << pool.num_threads() << " lanes vs serial)\n";
+          return 1;
+        }
+      }
+
       std::string speedup = "-";
-      if (n <= kCoroutineLimit) {
+      if (n <= kCoroutineLimit && !mem_diet) {
         t0 = std::chrono::steady_clock::now();
         const auto coro = analysis::run_mis(analysis::MisEngine::kSleeping, g,
                                             seed);
@@ -103,12 +178,20 @@ int main(int argc, char** argv) {
 
       const double awake_total =
           static_cast<double>(bulk_run.metrics.total_awake_node_rounds);
+      // The diet mode drops per-node metrics; the node average comes
+      // from the exact aggregate counter, the per-node max is gone.
+      const std::string avg_awake =
+          mem_diet ? analysis::Table::num(awake_total /
+                                          static_cast<double>(n))
+                   : analysis::Table::num(bulk_run.metrics.node_avg_awake());
+      const std::string worst_awake =
+          mem_diet ? "-"
+                   : analysis::Table::num(bulk_run.metrics.worst_awake());
       table.add_row(
           {analysis::Table::num(std::uint64_t{n}),
            analysis::Table::num(std::uint64_t{g.num_edges()}),
            analysis::Table::num(build_ms, 0), analysis::Table::num(run_ms, 0),
-           analysis::Table::num(bulk_run.metrics.node_avg_awake()),
-           analysis::Table::num(bulk_run.metrics.worst_awake()),
+           avg_awake, worst_awake,
            analysis::Table::num(awake_total / std::max(run_ms, 1e-3) / 1e3,
                                 2),
            analysis::Table::num(

@@ -6,21 +6,28 @@
 //
 // where family is one of: gnp_sparse (default), cycle, star, grid,
 // lollipop, random_tree, barabasi_albert, unit_disk, ...; threads is
-// the trial-runner parallelism (default: all hardware threads); exec is
-// "coroutine" (default) or "bulk". The bulk execution engine runs the
-// same protocols over flat state arrays, opening two orders of
-// magnitude more n: `./scaling_study gnp_sparse 4194304 0 bulk`
-// reproduces the paper's flat awake-complexity curve at multi-million
-// node scale (Algorithm 2 has no bulk port yet and is skipped there).
+// the parallelism lane count (default: all hardware threads); exec is
+// "coroutine" (default) or "bulk". With the coroutine engine the lanes
+// shard independent trials; with the bulk engine the trials run in
+// sequence and the lanes shard the node scans *inside* each trial
+// (single bulk trials dominate the wall clock at large n). Either way
+// the output is bitwise identical for every thread count. The bulk
+// execution engine runs the same protocols over flat state arrays,
+// opening two orders of magnitude more n: `./scaling_study gnp_sparse
+// 4194304 0 bulk` reproduces the paper's flat awake-complexity curve
+// at multi-million node scale (Algorithm 2 has no bulk port yet and is
+// skipped there).
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/experiment.h"
 #include "analysis/parallel.h"
 #include "analysis/stats.h"
 #include "analysis/table.h"
 #include "graph/generators.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace slumber;
@@ -69,16 +76,38 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Intra-trial lanes for the bulk back end (see the header comment).
+  util::ThreadPool bulk_pool(exec == analysis::ExecEngine::kBulk
+                                 ? analysis::default_trial_threads()
+                                 : 1);
+
   for (const auto engine : engines) {
     analysis::Table table({"n", "node-avg awake", "worst awake",
                            "worst rounds", "messages"});
     std::vector<double> ns;
     std::vector<double> awake;
     for (VertexId n = 64; n <= max_n; n *= 4) {
-      const auto agg = analysis::aggregate_mis(
-          engine,
-          [&](std::uint64_t seed) { return gen::make(family, n, seed); },
-          1000 + n, 3, 0, exec);
+      constexpr std::uint32_t kSeeds = 3;
+      analysis::AggregateRun agg;
+      if (exec == analysis::ExecEngine::kBulk) {
+        // Same seed schedule and reduction order as aggregate_mis, so
+        // this is bitwise identical to the trial-parallel coroutine
+        // path where the engines overlap.
+        std::vector<analysis::MisRun> runs;
+        runs.reserve(kSeeds);
+        for (std::uint32_t s = 0; s < kSeeds; ++s) {
+          const std::uint64_t seed = analysis::trial_seed(1000 + n, s);
+          const Graph g = gen::make(family, n, seed);
+          runs.push_back(
+              analysis::run_mis(engine, g, seed, nullptr, exec, &bulk_pool));
+        }
+        agg = analysis::aggregate_runs(runs);
+      } else {
+        agg = analysis::aggregate_mis(
+            engine,
+            [&](std::uint64_t seed) { return gen::make(family, n, seed); },
+            1000 + n, kSeeds, 0, exec);
+      }
       if (agg.invalid_runs > 0) {
         std::cerr << "invalid runs at n=" << n << "\n";
         return 1;

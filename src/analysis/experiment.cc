@@ -131,7 +131,8 @@ MisRun finish_run(MisEngine engine, const Graph& g, std::uint64_t seed,
 }  // namespace
 
 MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
-               core::RecursionTrace* trace, ExecEngine exec) {
+               core::RecursionTrace* trace, ExecEngine exec,
+               util::ThreadPool* bulk_pool) {
   if (exec == ExecEngine::kBulk) {
     auto protocol = bulk::bulk_mis_protocol(engine, trace);
     if (protocol == nullptr) {
@@ -140,6 +141,7 @@ MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
     }
     bulk::BulkOptions options;
     options.max_message_bits = sim::congest_bits_for(g.num_vertices());
+    options.pool = bulk_pool;
     bulk::BulkResult result = bulk::run_bulk(g, seed, *protocol, options);
     return finish_run(engine, g, seed, std::move(result.metrics),
                       std::move(result.outputs));

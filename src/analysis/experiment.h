@@ -14,6 +14,10 @@
 #include "sim/metrics.h"
 #include "util/rng.h"
 
+namespace slumber::util {
+class ThreadPool;
+}  // namespace slumber::util
+
 namespace slumber::analysis {
 
 using algos::MisEngine;
@@ -62,10 +66,14 @@ struct MisRun {
 /// If `trace` is non-null and the engine is one of the sleeping
 /// algorithms, the recursion trace is collected. `exec` selects the
 /// execution back end; throws std::invalid_argument when the engine has
-/// no bulk implementation.
+/// no bulk implementation. `bulk_pool`, when non-null and exec is
+/// kBulk, shards the trial's per-round node scans over the pool's lanes
+/// (intra-trial parallelism; results are bitwise identical for every
+/// lane count). Ignored by the coroutine back end.
 MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
                core::RecursionTrace* trace = nullptr,
-               ExecEngine exec = ExecEngine::kCoroutine);
+               ExecEngine exec = ExecEngine::kCoroutine,
+               util::ThreadPool* bulk_pool = nullptr);
 
 /// Seed-averaged measures for one (engine, graph-generator) cell.
 struct AggregateRun {
@@ -96,7 +104,9 @@ inline std::uint64_t trial_seed(std::uint64_t base_seed, std::uint32_t trial) {
 /// `num_threads` lanes (0 = default_trial_threads()). The returned runs
 /// are ordered by trial index and bitwise identical for every thread
 /// count, including the fully serial num_threads = 1. `exec` selects the
-/// execution back end for every trial.
+/// execution back end for every trial; each bulk trial runs its scans
+/// serially here (the lanes are spent on trial-level sharding — for
+/// intra-trial sharding of one huge trial, call run_mis with a pool).
 template <typename GraphFactory>
 std::vector<MisRun> run_trials(MisEngine engine, const GraphFactory& make_graph,
                                std::uint64_t base_seed, std::uint32_t num_seeds,

@@ -34,10 +34,16 @@ MisCheck check_mis_indicator(const Graph& g,
   check.all_decided = true;
   check.is_independent = true;
   check.is_maximal = true;
-  for (const Edge& e : g.edges()) {
-    if (in_mis[e.u] && in_mis[e.v]) {
-      check.is_independent = false;
-      break;
+  // Iterate the CSR (u < v visits each edge once) instead of edges():
+  // this keeps the verifier usable on memory-diet graphs that dropped
+  // the edge list (Graph::from_csr).
+  for (VertexId v = 0; v < g.num_vertices() && check.is_independent; ++v) {
+    if (!in_mis[v]) continue;
+    for (VertexId u : g.neighbors(v)) {
+      if (u > v && in_mis[u]) {
+        check.is_independent = false;
+        break;
+      }
     }
   }
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -61,8 +67,10 @@ bool check_coloring(const Graph& g, const std::vector<std::int64_t>& colors) {
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     if (colors[v] < 0 || colors[v] > g.degree(v)) return false;
   }
-  for (const Edge& e : g.edges()) {
-    if (colors[e.u] == colors[e.v]) return false;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (u > v && colors[u] == colors[v]) return false;
+    }
   }
   return true;
 }

@@ -1,5 +1,6 @@
 #include "bulk/baselines.h"
 
+#include <atomic>
 #include <bit>
 #include <numeric>
 #include <utility>
@@ -16,7 +17,9 @@ using algos::priority_beats;
 using algos::rank_bits_for;
 
 /// One persistent RNG stream per node, identical to the streams
-/// sim::Network hands out.
+/// sim::Network hands out. Each node's stream is advanced only by the
+/// lane owning the node, so sharded scans draw exactly the serial
+/// sequence.
 std::vector<Rng> node_streams(BulkEngine& eng) {
   const auto n = eng.graph().num_vertices();
   std::vector<Rng> rng;
@@ -55,50 +58,64 @@ void BulkLubyA::run(BulkEngine& eng) {
     ++round;
     eng.mark_awake(alive);
     eng.charge_round(alive, round);
-    for (const VertexId v : alive) {
-      priority[v] = rng[v].next() >> (64 - rank_bits);
-    }
-    for (const VertexId v : alive) {
-      std::uint64_t awake_nbrs = 0;
-      bool w = true;
-      for (const VertexId u : g.neighbors(v)) {
-        if (!eng.is_awake(u)) continue;
-        ++awake_nbrs;
-        if (priority_beats(priority[u], u, priority[v], v)) w = false;
+    eng.scan_awake(alive,
+                   [&](BulkChunk&, std::span<const VertexId> part) {
+                     for (const VertexId v : part) {
+                       priority[v] = rng[v].next() >> (64 - rank_bits);
+                     }
+                   });
+    eng.scan_awake(alive, [&](BulkChunk& chunk,
+                              std::span<const VertexId> part) {
+      for (const VertexId v : part) {
+        std::uint64_t awake_nbrs = 0;
+        bool w = true;
+        for (const VertexId u : g.neighbors(v)) {
+          if (!eng.is_awake(u)) continue;
+          ++awake_nbrs;
+          if (priority_beats(priority[u], u, priority[v], v)) w = false;
+        }
+        chunk.charge_symmetric_broadcast(v, awake_nbrs, rank_msg_bits);
+        win[v] = w ? 1 : 0;
       }
-      eng.charge_symmetric_broadcast(v, awake_nbrs, rank_msg_bits);
-      win[v] = w ? 1 : 0;
-    }
+    });
 
     // Round 2: winners announce and join; dominated neighbors exit.
     ++round;
     eng.charge_round(alive, round);
-    std::vector<VertexId> next;
-    next.reserve(alive.size());
-    for (const VertexId v : alive) {
-      std::uint64_t awake_nbrs = 0;
-      std::uint64_t winners_adjacent = 0;
-      for (const VertexId u : g.neighbors(v)) {
-        if (!eng.is_awake(u)) continue;
-        ++awake_nbrs;
-        winners_adjacent += win[u];
-      }
-      if (win[v] != 0) eng.charge_send(v, g.degree(v), awake_nbrs, in_mis_bits);
-      eng.charge_received(v, winners_adjacent);
-      if (win[v] != 0) {
-        eng.decide(v, 1, round);
-        eng.finish(v, round);
-      } else if (winners_adjacent > 0) {
-        eng.decide(v, 0, round);
-        eng.finish(v, round);
-      } else {
-        next.push_back(v);
-      }
-    }
-    alive = std::move(next);
+    alive = eng.scan_awake(
+                   alive,
+                   [&](BulkChunk& chunk, std::span<const VertexId> part) {
+                     for (const VertexId v : part) {
+                       std::uint64_t awake_nbrs = 0;
+                       std::uint64_t winners_adjacent = 0;
+                       for (const VertexId u : g.neighbors(v)) {
+                         if (!eng.is_awake(u)) continue;
+                         ++awake_nbrs;
+                         winners_adjacent += win[u];
+                       }
+                       if (win[v] != 0) {
+                         chunk.charge_send(v, g.degree(v), awake_nbrs,
+                                           in_mis_bits);
+                       }
+                       chunk.charge_received(v, winners_adjacent);
+                       if (win[v] != 0) {
+                         chunk.decide(v, 1, round);
+                         chunk.finish(v, round);
+                       } else if (winners_adjacent > 0) {
+                         chunk.decide(v, 0, round);
+                         chunk.finish(v, round);
+                       } else {
+                         chunk.keep(v);
+                       }
+                     }
+                   })
+                .kept;
   }
   // Iteration cap exhausted: remaining nodes return undecided.
-  for (const VertexId v : alive) eng.finish(v, round);
+  const VirtualRound last = round;
+  eng.scan_awake(alive, [&](BulkChunk& chunk, std::span<const VertexId> part) {
+    for (const VertexId v : part) chunk.finish(v, last);
+  });
 }
 
 void BulkLubyB::run(BulkEngine& eng) {
@@ -125,69 +142,84 @@ void BulkLubyB::run(BulkEngine& eng) {
     ++round;
     eng.mark_awake(alive);
     eng.charge_round(alive, round);
-    for (const VertexId v : alive) {
-      std::uint64_t awake_nbrs = 0;
-      for (const VertexId u : g.neighbors(v)) {
-        awake_nbrs += eng.is_awake(u) ? 1 : 0;
+    eng.scan_awake(alive, [&](BulkChunk& chunk,
+                              std::span<const VertexId> part) {
+      for (const VertexId v : part) {
+        std::uint64_t awake_nbrs = 0;
+        for (const VertexId u : g.neighbors(v)) {
+          awake_nbrs += eng.is_awake(u) ? 1 : 0;
+        }
+        active_deg[v] = awake_nbrs;
+        chunk.charge_symmetric_broadcast(v, awake_nbrs, hello_bits);
       }
-      active_deg[v] = awake_nbrs;
-      eng.charge_symmetric_broadcast(v, awake_nbrs, hello_bits);
-    }
-    for (const VertexId v : alive) {
-      marked[v] =
-          (active_deg[v] == 0 ||
-           rng[v].bernoulli(1.0 / (2.0 * static_cast<double>(active_deg[v]))))
-              ? 1
-              : 0;
-    }
+    });
+    eng.scan_awake(
+        alive, [&](BulkChunk&, std::span<const VertexId> part) {
+          for (const VertexId v : part) {
+            marked[v] = (active_deg[v] == 0 ||
+                         rng[v].bernoulli(
+                             1.0 / (2.0 * static_cast<double>(active_deg[v]))))
+                            ? 1
+                            : 0;
+          }
+        });
 
     // Round 2: marked nodes exchange (degree, id); beaten marks unmark.
     ++round;
     eng.charge_round(alive, round);
-    for (const VertexId v : alive) {
-      std::uint64_t marked_adjacent = 0;
-      bool w = marked[v] != 0;
-      for (const VertexId u : g.neighbors(v)) {
-        if (!eng.is_awake(u) || marked[u] == 0) continue;
-        ++marked_adjacent;
-        if (w && priority_beats(active_deg[u], u, active_deg[v], v)) {
-          w = false;
+    eng.scan_awake(alive, [&](BulkChunk& chunk,
+                              std::span<const VertexId> part) {
+      for (const VertexId v : part) {
+        std::uint64_t marked_adjacent = 0;
+        bool w = marked[v] != 0;
+        for (const VertexId u : g.neighbors(v)) {
+          if (!eng.is_awake(u) || marked[u] == 0) continue;
+          ++marked_adjacent;
+          if (w && priority_beats(active_deg[u], u, active_deg[v], v)) {
+            w = false;
+          }
         }
+        if (marked[v] != 0) {
+          chunk.charge_send(v, g.degree(v), active_deg[v], mark_bits);
+        }
+        chunk.charge_received(v, marked_adjacent);
+        win[v] = w ? 1 : 0;
       }
-      if (marked[v] != 0) {
-        eng.charge_send(v, g.degree(v), active_deg[v], mark_bits);
-      }
-      eng.charge_received(v, marked_adjacent);
-      win[v] = w ? 1 : 0;
-    }
+    });
 
     // Round 3: winners announce and join; dominated neighbors exit.
     ++round;
     eng.charge_round(alive, round);
-    std::vector<VertexId> next;
-    next.reserve(alive.size());
-    for (const VertexId v : alive) {
-      std::uint64_t winners_adjacent = 0;
-      for (const VertexId u : g.neighbors(v)) {
-        if (eng.is_awake(u)) winners_adjacent += win[u];
-      }
-      if (win[v] != 0) {
-        eng.charge_send(v, g.degree(v), active_deg[v], in_mis_bits);
-      }
-      eng.charge_received(v, winners_adjacent);
-      if (win[v] != 0) {
-        eng.decide(v, 1, round);
-        eng.finish(v, round);
-      } else if (winners_adjacent > 0) {
-        eng.decide(v, 0, round);
-        eng.finish(v, round);
-      } else {
-        next.push_back(v);
-      }
-    }
-    alive = std::move(next);
+    alive = eng.scan_awake(
+                   alive,
+                   [&](BulkChunk& chunk, std::span<const VertexId> part) {
+                     for (const VertexId v : part) {
+                       std::uint64_t winners_adjacent = 0;
+                       for (const VertexId u : g.neighbors(v)) {
+                         if (eng.is_awake(u)) winners_adjacent += win[u];
+                       }
+                       if (win[v] != 0) {
+                         chunk.charge_send(v, g.degree(v), active_deg[v],
+                                           in_mis_bits);
+                       }
+                       chunk.charge_received(v, winners_adjacent);
+                       if (win[v] != 0) {
+                         chunk.decide(v, 1, round);
+                         chunk.finish(v, round);
+                       } else if (winners_adjacent > 0) {
+                         chunk.decide(v, 0, round);
+                         chunk.finish(v, round);
+                       } else {
+                         chunk.keep(v);
+                       }
+                     }
+                   })
+                .kept;
   }
-  for (const VertexId v : alive) eng.finish(v, round);
+  const VirtualRound last = round;
+  eng.scan_awake(alive, [&](BulkChunk& chunk, std::span<const VertexId> part) {
+    for (const VertexId v : part) chunk.finish(v, last);
+  });
 }
 
 void BulkGreedy::run(BulkEngine& eng) {
@@ -205,10 +237,12 @@ void BulkGreedy::run(BulkEngine& eng) {
   if (options_.ranks_out != nullptr && options_.ranks_out->size() != n) {
     options_.ranks_out->resize(n);
   }
-  for (VertexId v = 0; v < n; ++v) {
-    rank[v] = eng.node_rng(v).next() >> (64 - rank_bits);
-    if (options_.ranks_out != nullptr) (*options_.ranks_out)[v] = rank[v];
-  }
+  eng.scan_range(n, [&](BulkChunk&, std::size_t begin, std::size_t end) {
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      rank[v] = eng.node_rng(v).next() >> (64 - rank_bits);
+      if (options_.ranks_out != nullptr) (*options_.ranks_out)[v] = rank[v];
+    }
+  });
   std::vector<VertexId> alive = all_vertices(n);
   std::vector<std::uint8_t> win(n, 0);
   VirtualRound round = 0;
@@ -218,45 +252,56 @@ void BulkGreedy::run(BulkEngine& eng) {
     ++round;
     eng.mark_awake(alive);
     eng.charge_round(alive, round);
-    for (const VertexId v : alive) {
-      std::uint64_t awake_nbrs = 0;
-      bool w = true;
-      for (const VertexId u : g.neighbors(v)) {
-        if (!eng.is_awake(u)) continue;
-        ++awake_nbrs;
-        if (priority_beats(rank[u], u, rank[v], v)) w = false;
+    eng.scan_awake(alive, [&](BulkChunk& chunk,
+                              std::span<const VertexId> part) {
+      for (const VertexId v : part) {
+        std::uint64_t awake_nbrs = 0;
+        bool w = true;
+        for (const VertexId u : g.neighbors(v)) {
+          if (!eng.is_awake(u)) continue;
+          ++awake_nbrs;
+          if (priority_beats(rank[u], u, rank[v], v)) w = false;
+        }
+        chunk.charge_symmetric_broadcast(v, awake_nbrs, rank_msg_bits);
+        win[v] = w ? 1 : 0;
       }
-      eng.charge_symmetric_broadcast(v, awake_nbrs, rank_msg_bits);
-      win[v] = w ? 1 : 0;
-    }
+    });
 
     ++round;
     eng.charge_round(alive, round);
-    std::vector<VertexId> next;
-    next.reserve(alive.size());
-    for (const VertexId v : alive) {
-      std::uint64_t awake_nbrs = 0;
-      std::uint64_t winners_adjacent = 0;
-      for (const VertexId u : g.neighbors(v)) {
-        if (!eng.is_awake(u)) continue;
-        ++awake_nbrs;
-        winners_adjacent += win[u];
-      }
-      if (win[v] != 0) eng.charge_send(v, g.degree(v), awake_nbrs, in_mis_bits);
-      eng.charge_received(v, winners_adjacent);
-      if (win[v] != 0) {
-        eng.decide(v, 1, round);
-        eng.finish(v, round);
-      } else if (winners_adjacent > 0) {
-        eng.decide(v, 0, round);
-        eng.finish(v, round);
-      } else {
-        next.push_back(v);
-      }
-    }
-    alive = std::move(next);
+    alive = eng.scan_awake(
+                   alive,
+                   [&](BulkChunk& chunk, std::span<const VertexId> part) {
+                     for (const VertexId v : part) {
+                       std::uint64_t awake_nbrs = 0;
+                       std::uint64_t winners_adjacent = 0;
+                       for (const VertexId u : g.neighbors(v)) {
+                         if (!eng.is_awake(u)) continue;
+                         ++awake_nbrs;
+                         winners_adjacent += win[u];
+                       }
+                       if (win[v] != 0) {
+                         chunk.charge_send(v, g.degree(v), awake_nbrs,
+                                           in_mis_bits);
+                       }
+                       chunk.charge_received(v, winners_adjacent);
+                       if (win[v] != 0) {
+                         chunk.decide(v, 1, round);
+                         chunk.finish(v, round);
+                       } else if (winners_adjacent > 0) {
+                         chunk.decide(v, 0, round);
+                         chunk.finish(v, round);
+                       } else {
+                         chunk.keep(v);
+                       }
+                     }
+                   })
+                .kept;
   }
-  for (const VertexId v : alive) eng.finish(v, round);
+  const VirtualRound last = round;
+  eng.scan_awake(alive, [&](BulkChunk& chunk, std::span<const VertexId> part) {
+    for (const VertexId v : part) chunk.finish(v, last);
+  });
 }
 
 void BulkIsraeliItai::run(BulkEngine& eng) {
@@ -284,110 +329,142 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
     // Nodes whose active neighborhood emptied terminate unmatched. In
     // the coroutine engine this runs during the previous round's resume,
     // so the decision carries the current round stamp.
-    {
-      std::vector<VertexId> still;
-      still.reserve(alive.size());
-      for (const VertexId v : alive) {
-        if (active_count[v] == 0) {
-          eng.decide(v, -1, round);
-          eng.finish(v, round);
-        } else {
-          still.push_back(v);
-        }
-      }
-      alive = std::move(still);
-    }
+    const VirtualRound now = round;
+    alive = eng.scan_awake(
+                   alive,
+                   [&](BulkChunk& chunk, std::span<const VertexId> part) {
+                     for (const VertexId v : part) {
+                       if (active_count[v] == 0) {
+                         chunk.decide(v, -1, now);
+                         chunk.finish(v, now);
+                       } else {
+                         chunk.keep(v);
+                       }
+                     }
+                   })
+                .kept;
     if (alive.empty()) break;
 
     // Role coins; proposers pick a uniformly random active port.
-    for (const VertexId v : alive) {
-      partner[v] = -1;
-      proposer[v] = rng[v].coin() ? 1 : 0;
-      if (proposer[v] != 0) {
-        std::uint64_t pick = rng[v].below(active_count[v]);
-        const CsrOffset base = g.adjacency_offset(v);
-        std::uint32_t port = 0;
-        for (const std::uint32_t deg = g.degree(v); port < deg; ++port) {
-          if (port_active[base + port] == 0) continue;
-          if (pick == 0) break;
-          --pick;
+    eng.scan_awake(alive, [&](BulkChunk&, std::span<const VertexId> part) {
+      for (const VertexId v : part) {
+        partner[v] = -1;
+        proposer[v] = rng[v].coin() ? 1 : 0;
+        if (proposer[v] != 0) {
+          std::uint64_t pick = rng[v].below(active_count[v]);
+          const CsrOffset base = g.adjacency_offset(v);
+          std::uint32_t port = 0;
+          for (const std::uint32_t deg = g.degree(v); port < deg; ++port) {
+            if (port_active[base + port] == 0) continue;
+            if (pick == 0) break;
+            --pick;
+          }
+          target[v] = g.neighbor(v, port);
+        } else {
+          target[v] = kInvalidVertex;
         }
-        target[v] = g.neighbor(v, port);
-      } else {
-        target[v] = kInvalidVertex;
       }
-    }
+    });
 
-    // Round 1: proposals travel one port each.
+    // Round 1: proposals travel one port each. Several proposers may
+    // target one acceptor, so the receive tallies go through relaxed
+    // atomic increments (an order-free integer sum).
     ++round;
     eng.mark_awake(alive);
     eng.charge_round(alive, round);
-    for (const VertexId v : alive) recv[v] = 0;
-    for (const VertexId v : alive) {
-      if (proposer[v] == 0) continue;
-      const VertexId t = target[v];
-      const bool delivered = eng.is_awake(t);
-      eng.charge_send(v, 1, delivered ? 1 : 0, kIiBits);
-      if (delivered) ++recv[t];
-    }
-    for (const VertexId v : alive) eng.charge_received(v, recv[v]);
-
-    // Round 2: acceptors answer the lowest-port proposal; the accepted
-    // proposer and the acceptor become partners.
-    ++round;
-    eng.charge_round(alive, round);
-    for (const VertexId v : alive) recv[v] = 0;
-    for (const VertexId u : alive) {
-      if (proposer[u] != 0) continue;
-      const auto nbrs = g.neighbors(u);
-      for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
-        const VertexId w = nbrs[p];
-        if (eng.is_awake(w) && proposer[w] != 0 && target[w] == u) {
-          eng.charge_send(u, 1, 1, kIiBits);
-          ++recv[w];
-          partner[u] = static_cast<std::int64_t>(w);
-          partner[w] = static_cast<std::int64_t>(u);
-          break;
+    eng.scan_awake(alive, [&](BulkChunk&, std::span<const VertexId> part) {
+      for (const VertexId v : part) recv[v] = 0;
+    });
+    eng.scan_awake(alive, [&](BulkChunk& chunk,
+                              std::span<const VertexId> part) {
+      for (const VertexId v : part) {
+        if (proposer[v] == 0) continue;
+        const VertexId t = target[v];
+        const bool delivered = eng.is_awake(t);
+        chunk.charge_send(v, 1, delivered ? 1 : 0, kIiBits);
+        if (delivered) {
+          std::atomic_ref(recv[t]).fetch_add(1, std::memory_order_relaxed);
         }
       }
-    }
-    for (const VertexId v : alive) eng.charge_received(v, recv[v]);
+    });
+    eng.scan_awake(alive, [&](BulkChunk& chunk,
+                              std::span<const VertexId> part) {
+      for (const VertexId v : part) chunk.charge_received(v, recv[v]);
+    });
+
+    // Round 2: acceptors answer the lowest-port proposal; the accepted
+    // proposer and the acceptor become partners. A proposer targets
+    // exactly one node, so partner[w] and recv[w] have a unique writer.
+    ++round;
+    eng.charge_round(alive, round);
+    eng.scan_awake(alive, [&](BulkChunk&, std::span<const VertexId> part) {
+      for (const VertexId v : part) recv[v] = 0;
+    });
+    eng.scan_awake(alive, [&](BulkChunk& chunk,
+                              std::span<const VertexId> part) {
+      for (const VertexId u : part) {
+        if (proposer[u] != 0) continue;
+        const auto nbrs = g.neighbors(u);
+        for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+          const VertexId w = nbrs[p];
+          if (eng.is_awake(w) && proposer[w] != 0 && target[w] == u) {
+            chunk.charge_send(u, 1, 1, kIiBits);
+            ++recv[w];
+            partner[u] = static_cast<std::int64_t>(w);
+            partner[w] = static_cast<std::int64_t>(u);
+            break;
+          }
+        }
+      }
+    });
+    eng.scan_awake(alive, [&](BulkChunk& chunk,
+                              std::span<const VertexId> part) {
+      for (const VertexId v : part) chunk.charge_received(v, recv[v]);
+    });
 
     // Round 3: matched nodes announce and terminate; the rest strike
     // announced neighbors from their active port sets.
     ++round;
     eng.charge_round(alive, round);
-    std::vector<VertexId> next;
-    next.reserve(alive.size());
-    for (const VertexId v : alive) {
-      std::uint64_t awake_nbrs = 0;
-      std::uint64_t matched_adjacent = 0;
-      const auto nbrs = g.neighbors(v);
-      const CsrOffset base = g.adjacency_offset(v);
-      for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
-        const VertexId u = nbrs[p];
-        if (!eng.is_awake(u)) continue;
-        ++awake_nbrs;
-        if (partner[u] >= 0) {
-          ++matched_adjacent;
-          if (partner[v] < 0 && port_active[base + p] != 0) {
-            port_active[base + p] = 0;
-            --active_count[v];
-          }
-        }
-      }
-      if (partner[v] >= 0) eng.charge_send(v, g.degree(v), awake_nbrs, kIiBits);
-      eng.charge_received(v, matched_adjacent);
-      if (partner[v] >= 0) {
-        eng.decide(v, partner[v], round);
-        eng.finish(v, round);
-      } else {
-        next.push_back(v);
-      }
-    }
-    alive = std::move(next);
+    alive =
+        eng.scan_awake(
+               alive,
+               [&](BulkChunk& chunk, std::span<const VertexId> part) {
+                 for (const VertexId v : part) {
+                   std::uint64_t awake_nbrs = 0;
+                   std::uint64_t matched_adjacent = 0;
+                   const auto nbrs = g.neighbors(v);
+                   const CsrOffset base = g.adjacency_offset(v);
+                   for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+                     const VertexId u = nbrs[p];
+                     if (!eng.is_awake(u)) continue;
+                     ++awake_nbrs;
+                     if (partner[u] >= 0) {
+                       ++matched_adjacent;
+                       if (partner[v] < 0 && port_active[base + p] != 0) {
+                         port_active[base + p] = 0;
+                         --active_count[v];
+                       }
+                     }
+                   }
+                   if (partner[v] >= 0) {
+                     chunk.charge_send(v, g.degree(v), awake_nbrs, kIiBits);
+                   }
+                   chunk.charge_received(v, matched_adjacent);
+                   if (partner[v] >= 0) {
+                     chunk.decide(v, partner[v], round);
+                     chunk.finish(v, round);
+                   } else {
+                     chunk.keep(v);
+                   }
+                 }
+               })
+            .kept;
   }
-  for (const VertexId v : alive) eng.finish(v, round);
+  const VirtualRound last = round;
+  eng.scan_awake(alive, [&](BulkChunk& chunk, std::span<const VertexId> part) {
+    for (const VertexId v : part) chunk.finish(v, last);
+  });
 }
 
 void BulkBeepingMis::run(BulkEngine& eng) {
@@ -414,15 +491,17 @@ void BulkBeepingMis::run(BulkEngine& eng) {
   VirtualRound round = 0;
 
   for (std::uint64_t phase = 0; phase < phase_cap && !alive.empty(); ++phase) {
-    for (const VertexId v : alive) {
-      const bool candidate = rng[v].bernoulli(options_.candidate_prob);
-      rank[v] = candidate
-                    ? (rng[v].below(std::uint64_t{1} << random_bits)
-                       << id_bits) |
-                          v
-                    : 0;
-      contending[v] = candidate ? 1 : 0;
-    }
+    eng.scan_awake(alive, [&](BulkChunk&, std::span<const VertexId> part) {
+      for (const VertexId v : part) {
+        const bool candidate = rng[v].bernoulli(options_.candidate_prob);
+        rank[v] = candidate
+                      ? (rng[v].below(std::uint64_t{1} << random_bits)
+                         << id_bits) |
+                            v
+                      : 0;
+        contending[v] = candidate ? 1 : 0;
+      }
+    });
     eng.mark_awake(alive);  // one awake set for the whole phase
 
     // Bit auction, most significant bit first.
@@ -430,60 +509,72 @@ void BulkBeepingMis::run(BulkEngine& eng) {
       ++round;
       eng.charge_round(alive, round);
       const std::uint32_t bit_index = total_bits - 1 - slot;
-      for (const VertexId v : alive) {
-        beeper[v] = (contending[v] != 0 && ((rank[v] >> bit_index) & 1) != 0)
-                        ? 1
-                        : 0;
-      }
-      for (const VertexId v : alive) {
-        std::uint64_t awake_nbrs = 0;
-        std::uint64_t beeps_heard = 0;
-        for (const VertexId u : g.neighbors(v)) {
-          if (!eng.is_awake(u)) continue;
-          ++awake_nbrs;
-          beeps_heard += beeper[u];
+      eng.scan_awake(alive, [&](BulkChunk&, std::span<const VertexId> part) {
+        for (const VertexId v : part) {
+          beeper[v] =
+              (contending[v] != 0 && ((rank[v] >> bit_index) & 1) != 0) ? 1
+                                                                        : 0;
         }
-        if (beeper[v] != 0) {
-          eng.charge_send(v, g.degree(v), awake_nbrs, beep_bits);
+      });
+      eng.scan_awake(alive, [&](BulkChunk& chunk,
+                                std::span<const VertexId> part) {
+        for (const VertexId v : part) {
+          std::uint64_t awake_nbrs = 0;
+          std::uint64_t beeps_heard = 0;
+          for (const VertexId u : g.neighbors(v)) {
+            if (!eng.is_awake(u)) continue;
+            ++awake_nbrs;
+            beeps_heard += beeper[u];
+          }
+          if (beeper[v] != 0) {
+            chunk.charge_send(v, g.degree(v), awake_nbrs, beep_bits);
+          }
+          chunk.charge_received(v, beeps_heard);
+          // A beeping node cannot listen; only silent contenders drop
+          // out.
+          if (beeper[v] == 0 && contending[v] != 0 && beeps_heard > 0) {
+            contending[v] = 0;
+          }
         }
-        eng.charge_received(v, beeps_heard);
-        // A beeping node cannot listen; only silent contenders drop out.
-        if (beeper[v] == 0 && contending[v] != 0 && beeps_heard > 0) {
-          contending[v] = 0;
-        }
-      }
+      });
     }
 
     // Join slot: survivors beep-and-join; listeners that hear it exit.
     ++round;
     eng.charge_round(alive, round);
-    std::vector<VertexId> next;
-    next.reserve(alive.size());
-    for (const VertexId v : alive) {
-      std::uint64_t awake_nbrs = 0;
-      std::uint64_t joins_heard = 0;
-      for (const VertexId u : g.neighbors(v)) {
-        if (!eng.is_awake(u)) continue;
-        ++awake_nbrs;
-        joins_heard += contending[u];
-      }
-      if (contending[v] != 0) {
-        eng.charge_send(v, g.degree(v), awake_nbrs, beep_bits);
-      }
-      eng.charge_received(v, joins_heard);
-      if (contending[v] != 0) {
-        eng.decide(v, 1, round);
-        eng.finish(v, round);
-      } else if (joins_heard > 0) {
-        eng.decide(v, 0, round);
-        eng.finish(v, round);
-      } else {
-        next.push_back(v);
-      }
-    }
-    alive = std::move(next);
+    alive = eng.scan_awake(
+                   alive,
+                   [&](BulkChunk& chunk, std::span<const VertexId> part) {
+                     for (const VertexId v : part) {
+                       std::uint64_t awake_nbrs = 0;
+                       std::uint64_t joins_heard = 0;
+                       for (const VertexId u : g.neighbors(v)) {
+                         if (!eng.is_awake(u)) continue;
+                         ++awake_nbrs;
+                         joins_heard += contending[u];
+                       }
+                       if (contending[v] != 0) {
+                         chunk.charge_send(v, g.degree(v), awake_nbrs,
+                                           beep_bits);
+                       }
+                       chunk.charge_received(v, joins_heard);
+                       if (contending[v] != 0) {
+                         chunk.decide(v, 1, round);
+                         chunk.finish(v, round);
+                       } else if (joins_heard > 0) {
+                         chunk.decide(v, 0, round);
+                         chunk.finish(v, round);
+                       } else {
+                         chunk.keep(v);
+                       }
+                     }
+                   })
+                .kept;
   }
-  for (const VertexId v : alive) eng.finish(v, round);
+  const VirtualRound last = round;
+  eng.scan_awake(alive, [&](BulkChunk& chunk, std::span<const VertexId> part) {
+    for (const VertexId v : part) chunk.finish(v, last);
+  });
 }
 
 std::unique_ptr<BulkProtocol> bulk_mis_protocol(algos::MisEngine engine,

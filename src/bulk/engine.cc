@@ -1,6 +1,7 @@
 #include "bulk/engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 
 namespace slumber::bulk {
@@ -8,15 +9,92 @@ namespace slumber::bulk {
 BulkEngine::BulkEngine(const Graph& g, std::uint64_t seed, BulkOptions options)
     : graph_(g), options_(options), seed_(seed), master_(seed) {
   const VertexId n = g.num_vertices();
-  metrics_.node.resize(n);
+  if (options_.node_metrics) metrics_.node.resize(n);
   outputs_.assign(n, -1);
   decided_.assign(n, 0);
   awake_epoch_.assign(n, 0);
 }
 
+void BulkEngine::merge_chunk(const BulkChunk& chunk) {
+  metrics_.total_messages += chunk.total_messages_;
+  metrics_.dropped_messages += chunk.dropped_messages_;
+  metrics_.congest_violations += chunk.congest_violations_;
+  metrics_.max_message_bits_seen =
+      std::max(metrics_.max_message_bits_seen, chunk.max_message_bits_seen_);
+  virtual_makespan_ = std::max(virtual_makespan_, chunk.virtual_makespan_);
+}
+
+ScanResult BulkEngine::scan_awake(
+    std::span<const VertexId> vs,
+    const std::function<void(BulkChunk&, std::span<const VertexId>)>& fn) {
+  return scan_range(vs.size(),
+                    [&](BulkChunk& chunk, std::size_t begin, std::size_t end) {
+                      fn(chunk, vs.subspan(begin, end - begin));
+                    });
+}
+
+ScanResult BulkEngine::scan_range(
+    std::size_t total,
+    const std::function<void(BulkChunk&, std::size_t begin, std::size_t end)>&
+        fn) {
+  ScanResult result;
+  if (total == 0) return result;
+  const bool parallel = options_.pool != nullptr &&
+                        options_.pool->num_threads() > 1 && total > 1 &&
+                        total >= options_.parallel_cutoff;
+  if (!parallel) {
+    BulkChunk chunk(this);
+    fn(chunk, 0, total);
+    merge_chunk(chunk);
+    result.kept = std::move(chunk.kept_);
+    result.user = chunk.user_;
+    return result;
+  }
+  const std::size_t chunks = options_.pool->num_chunks(total);
+  std::vector<BulkChunk> parts(chunks, BulkChunk(this));
+  options_.pool->parallel_for_range(
+      total, [&](std::size_t c, std::size_t begin, std::size_t end) {
+        fn(parts[c], begin, end);
+      });
+  // Deterministic reduction in chunk index order. Every merged quantity
+  // is an integer sum or max, and the keep() lists concatenate in input
+  // order, so the result is bitwise independent of the lane count.
+  std::size_t total_kept = 0;
+  for (const BulkChunk& part : parts) total_kept += part.kept_.size();
+  result.kept.reserve(total_kept);
+  for (BulkChunk& part : parts) {
+    merge_chunk(part);
+    result.user += part.user_;
+    result.kept.insert(result.kept.end(), part.kept_.begin(),
+                       part.kept_.end());
+  }
+  return result;
+}
+
 void BulkEngine::mark_awake(std::span<const VertexId> awake) {
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    // Theoretical wrap guard (needs 2^32 - 1 mark_awake calls): restart
+    // the stamp sequence with a clean slate.
+    std::fill(awake_epoch_.begin(), awake_epoch_.end(), 0);
+    epoch_ = 0;
+  }
   ++epoch_;
-  for (const VertexId v : awake) awake_epoch_[v] = epoch_;
+  const std::uint32_t epoch = epoch_;
+  const bool parallel = options_.pool != nullptr &&
+                        options_.pool->num_threads() > 1 &&
+                        awake.size() >= options_.parallel_cutoff;
+  if (!parallel) {
+    for (const VertexId v : awake) awake_epoch_[v] = epoch;
+    return;
+  }
+  // Awake sets hold distinct vertices, so the stamped slots are
+  // disjoint across lanes.
+  options_.pool->parallel_for_range(
+      awake.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          awake_epoch_[awake[i]] = epoch;
+        }
+      });
 }
 
 void BulkEngine::charge_round(std::span<const VertexId> awake,
@@ -24,46 +102,64 @@ void BulkEngine::charge_round(std::span<const VertexId> awake,
   if (awake.empty()) return;
   ++metrics_.distinct_active_rounds;
   metrics_.total_awake_node_rounds += awake.size();
-  for (const VertexId v : awake) ++metrics_.node[v].awake_rounds;
   virtual_makespan_ = std::max(virtual_makespan_, round);
+  if (!options_.node_metrics) return;
+  const bool parallel = options_.pool != nullptr &&
+                        options_.pool->num_threads() > 1 &&
+                        awake.size() >= options_.parallel_cutoff;
+  if (!parallel) {
+    for (const VertexId v : awake) ++metrics_.node[v].awake_rounds;
+    return;
+  }
+  options_.pool->parallel_for_range(
+      awake.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          ++metrics_.node[awake[i]].awake_rounds;
+        }
+      });
 }
 
 void BulkEngine::charge_send(VertexId v, std::uint64_t attempted,
                              std::uint64_t delivered, std::uint32_t bits) {
-  if (attempted == 0) return;
-  metrics_.node[v].messages_sent += attempted;
-  metrics_.total_messages += delivered;
-  metrics_.dropped_messages += attempted - delivered;
-  metrics_.max_message_bits_seen =
-      std::max(metrics_.max_message_bits_seen, bits);
-  if (options_.max_message_bits != 0 && bits > options_.max_message_bits) {
-    metrics_.congest_violations += attempted;
-    if (options_.throw_on_congest_violation) {
-      throw sim::CongestViolation(
-          "message of " + std::to_string(bits) + " bits exceeds CONGEST " +
-          "budget of " + std::to_string(options_.max_message_bits));
-    }
-  }
+  BulkChunk chunk(this);
+  chunk.charge_send(v, attempted, delivered, bits);
+  merge_chunk(chunk);
+}
+
+void BulkEngine::charge_received(VertexId v, std::uint64_t count) {
+  BulkChunk chunk(this);
+  chunk.charge_received(v, count);
+  merge_chunk(chunk);
+}
+
+void BulkEngine::charge_symmetric_broadcast(VertexId v,
+                                            std::uint64_t awake_neighbors,
+                                            std::uint32_t bits) {
+  BulkChunk chunk(this);
+  chunk.charge_symmetric_broadcast(v, awake_neighbors, bits);
+  merge_chunk(chunk);
 }
 
 void BulkEngine::decide(VertexId v, std::int64_t output, VirtualRound round) {
-  if (decided_[v] != 0) return;
-  decided_[v] = 1;
-  outputs_[v] = output;
-  auto& m = metrics_.node[v];
-  m.decided_round = saturate_round(round);
-  m.awake_at_decision = m.awake_rounds;
+  BulkChunk chunk(this);
+  chunk.decide(v, output, round);
+  merge_chunk(chunk);
 }
 
 void BulkEngine::finish(VertexId v, VirtualRound round) {
-  metrics_.node[v].finish_round = saturate_round(round);
-  virtual_makespan_ = std::max(virtual_makespan_, round);
+  BulkChunk chunk(this);
+  chunk.finish(v, round);
+  merge_chunk(chunk);
 }
 
 BulkResult BulkEngine::take_result() {
-  metrics_.makespan = 0;
-  for (const sim::NodeMetrics& m : metrics_.node) {
-    metrics_.makespan = std::max(metrics_.makespan, m.finish_round);
+  if (options_.node_metrics) {
+    metrics_.makespan = 0;
+    for (const sim::NodeMetrics& m : metrics_.node) {
+      metrics_.makespan = std::max(metrics_.makespan, m.finish_round);
+    }
+  } else {
+    metrics_.makespan = saturate_round(virtual_makespan_);
   }
   BulkResult result;
   result.metrics = std::move(metrics_);

@@ -14,6 +14,17 @@
 // sim::Metrics exactly (tests/bulk_engine_test.cc pins this). Fault
 // injection (crashes, message loss) stays coroutine-only.
 //
+// Intra-trial parallelism: per-frame node scans are independent per
+// node, so when BulkOptions::pool is set, scan_awake() shards the awake
+// set into contiguous chunks over the pool's lanes. Per-node state and
+// metrics are written only by the lane owning the node (or through
+// relaxed atomics where a protocol's accounting crosses nodes), and all
+// aggregate accounting accumulates into per-chunk BulkChunk partials
+// that are merged in chunk index order after the barrier. Every merged
+// quantity is an integer sum or max — order-free — so outputs, metrics,
+// and traces are bitwise identical for every thread count, including
+// the serial pool-less path (tests/bulk_parallel_test.cc pins this).
+//
 // Virtual rounds are tracked in 128 bits: Algorithm 1's schedule spans
 // T(K) = 3(2^K - 1) rounds with K = ceil(3 log2 n), which overflows 64
 // bits for n > ~2M. Values stored into the (64-bit) sim::Metrics fields
@@ -21,7 +32,9 @@
 // identity, so equivalence with the coroutine engine is exact there.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -31,6 +44,7 @@
 #include "sim/metrics.h"
 #include "sim/network.h"  // sim::CongestViolation, congest_bits_for
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace slumber::bulk {
 
@@ -50,6 +64,20 @@ struct BulkOptions {
   /// If true, a too-wide message throws sim::CongestViolation; otherwise
   /// it is only counted in Metrics::congest_violations.
   bool throw_on_congest_violation = true;
+  /// Intra-trial parallelism: when non-null, awake-set scans shard over
+  /// this pool's lanes (bitwise-identical results for every lane
+  /// count). The pool is borrowed, not owned, and must outlive the run.
+  util::ThreadPool* pool = nullptr;
+  /// Awake sets smaller than this run single-chunk on the calling
+  /// thread even when a pool is set (fork-join overhead dwarfs the work
+  /// on tiny recursion frames). Tests pin the bitwise contract with 1.
+  std::size_t parallel_cutoff = 4096;
+  /// Memory diet for the 10^8-node regime: when false, per-node
+  /// sim::Metrics are not allocated or maintained (Metrics::node stays
+  /// empty; aggregate counters, outputs, and decision state are exact).
+  /// Metrics::makespan is then taken from the saturated virtual
+  /// makespan instead of max finish_round.
+  bool node_metrics = true;
 };
 
 struct BulkResult {
@@ -59,41 +87,17 @@ struct BulkResult {
   VirtualRound virtual_makespan = 0;
 };
 
-/// The shared accounting and awake-set substrate bulk protocols run on.
-///
-/// A protocol executes one virtual round by (1) mark_awake() with the
-/// round's awake set, (2) charge_round(), (3) iterating the set doing
-/// its own logic over CSR spans, calling the charge_* accounting
-/// methods, decide(), and finish() as it goes. Rounds whose awake set
-/// is unchanged (e.g. the three communication rounds of one
-/// SleepingMISRecursive frame) may skip re-marking.
-class BulkEngine {
+class BulkEngine;
+
+/// Per-chunk accounting view handed to scan_awake() callbacks. Per-node
+/// quantities (NodeMetrics fields, outputs, decision state) are written
+/// straight through — each node is touched only by the chunk that owns
+/// it — while run-aggregate quantities accumulate chunk-locally and are
+/// merged into sim::Metrics in chunk index order after the scan's
+/// barrier. All merged quantities are integer sums or maxes, so the
+/// merged totals are bitwise independent of the chunking.
+class BulkChunk {
  public:
-  BulkEngine(const Graph& g, std::uint64_t seed, BulkOptions options = {});
-
-  const Graph& graph() const { return graph_; }
-  std::uint64_t n() const { return graph_.num_vertices(); }
-  std::uint64_t seed() const { return seed_; }
-
-  /// Per-node RNG stream; identical to the stream sim::Network hands the
-  /// node's Context (Rng(seed).split(v)), so protocols that draw in the
-  /// same per-node order reproduce coroutine runs bit for bit.
-  Rng node_rng(VertexId v) const { return master_.split(v); }
-
-  // --- awake-set lifecycle ------------------------------------------
-
-  /// Installs `awake` as the current awake set (epoch stamp, O(|awake|)).
-  void mark_awake(std::span<const VertexId> awake);
-
-  /// True iff v is in the current awake set.
-  bool is_awake(VertexId v) const { return awake_epoch_[v] == epoch_; }
-
-  /// Charges one awake round at virtual round `round` to every node of
-  /// `awake` (which must equal the currently marked set).
-  void charge_round(std::span<const VertexId> awake, VirtualRound round);
-
-  // --- message accounting -------------------------------------------
-
   /// Sender-side accounting: v attempted `attempted` sends of a
   /// `bits`-wide message, of which `delivered` reached awake nodes (the
   /// rest are dropped, as the sleeping model specifies).
@@ -101,20 +105,13 @@ class BulkEngine {
                    std::uint64_t delivered, std::uint32_t bits);
 
   /// Receiver-side accounting: v received `count` messages this round.
-  void charge_received(VertexId v, std::uint64_t count) {
-    metrics_.node[v].messages_received += count;
-  }
+  void charge_received(VertexId v, std::uint64_t count);
 
   /// Symmetric broadcast shorthand for rounds in which every awake node
   /// broadcasts on all ports: v sends deg(v), of which `awake_neighbors`
   /// are delivered, and receives exactly `awake_neighbors` in turn.
   void charge_symmetric_broadcast(VertexId v, std::uint64_t awake_neighbors,
-                                  std::uint32_t bits) {
-    charge_send(v, graph_.degree(v), awake_neighbors, bits);
-    charge_received(v, awake_neighbors);
-  }
-
-  // --- outputs ------------------------------------------------------
+                                  std::uint32_t bits);
 
   /// Records v's output and decision instant. Idempotent like
   /// Context::decide: only the first call sticks.
@@ -124,15 +121,123 @@ class BulkEngine {
   /// the coroutine scheduler's finish_round convention).
   void finish(VertexId v, VirtualRound round);
 
+  /// Appends v to the chunk's ordered output list; scan_awake returns
+  /// the concatenation in chunk index order, so a filter that keep()s
+  /// in input order gets an order-preserving parallel filter.
+  void keep(VertexId v) { kept_.push_back(v); }
+
+  /// Free-form per-chunk counter; scan_awake returns the sum across
+  /// chunks (protocols use it for trace statistics like isolated
+  /// joins).
+  void bump(std::uint64_t amount = 1) { user_ += amount; }
+
+ private:
+  friend class BulkEngine;
+  explicit BulkChunk(BulkEngine* eng) : eng_(eng) {}
+
+  BulkEngine* eng_;
+  std::vector<VertexId> kept_;
+  std::uint64_t user_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t dropped_messages_ = 0;
+  std::uint64_t congest_violations_ = 0;
+  std::uint32_t max_message_bits_seen_ = 0;
+  VirtualRound virtual_makespan_ = 0;
+};
+
+/// What a sharded scan produced: the chunk keep() lists concatenated in
+/// chunk index order, and the sum of the chunk bump() counters.
+struct ScanResult {
+  std::vector<VertexId> kept;
+  std::uint64_t user = 0;
+};
+
+/// The shared accounting and awake-set substrate bulk protocols run on.
+///
+/// A protocol executes one virtual round by (1) mark_awake() with the
+/// round's awake set, (2) charge_round(), (3) scan_awake() over the set
+/// doing its own logic over CSR spans, calling the BulkChunk accounting
+/// methods as it goes. Rounds whose awake set is unchanged (e.g. the
+/// three communication rounds of one SleepingMISRecursive frame) may
+/// skip re-marking.
+class BulkEngine {
+ public:
+  BulkEngine(const Graph& g, std::uint64_t seed, BulkOptions options = {});
+
+  const Graph& graph() const { return graph_; }
+  std::uint64_t n() const { return graph_.num_vertices(); }
+  std::uint64_t seed() const { return seed_; }
+  const BulkOptions& options() const { return options_; }
+
+  /// Per-node RNG stream; identical to the stream sim::Network hands the
+  /// node's Context (Rng(seed).split(v)), so protocols that draw in the
+  /// same per-node order reproduce coroutine runs bit for bit.
+  Rng node_rng(VertexId v) const { return master_.split(v); }
+
+  // --- sharding ------------------------------------------------------
+
+  /// Runs fn(chunk, sub-span) over contiguous chunks of `vs`, in
+  /// parallel when a pool is configured and |vs| reaches the cutoff,
+  /// single-chunk on the calling thread otherwise. Chunk accounting
+  /// partials merge into the metrics in chunk index order after the
+  /// barrier; both paths execute identical per-node code, so results
+  /// are bitwise independent of the lane count.
+  ScanResult scan_awake(
+      std::span<const VertexId> vs,
+      const std::function<void(BulkChunk&, std::span<const VertexId>)>& fn);
+
+  /// Range analogue of scan_awake for index loops that are not over an
+  /// awake vector (e.g. drawing per-node coins for all v in [0, n)).
+  ScanResult scan_range(
+      std::size_t total,
+      const std::function<void(BulkChunk&, std::size_t begin,
+                               std::size_t end)>& fn);
+
+  // --- awake-set lifecycle ------------------------------------------
+
+  /// Installs `awake` as the current awake set (epoch stamp, O(|awake|),
+  /// sharded over the pool when one is configured).
+  void mark_awake(std::span<const VertexId> awake);
+
+  /// True iff v is in the current awake set.
+  bool is_awake(VertexId v) const { return awake_epoch_[v] == epoch_; }
+
+  /// Charges one awake round at virtual round `round` to every node of
+  /// `awake` (which must equal the currently marked set).
+  void charge_round(std::span<const VertexId> awake, VirtualRound round);
+
+  // --- single-node accounting (serial convenience) ------------------
+
+  /// One-node forms of the BulkChunk accounting methods, for serial
+  /// protocol phases outside any scan.
+  void charge_send(VertexId v, std::uint64_t attempted,
+                   std::uint64_t delivered, std::uint32_t bits);
+  void charge_received(VertexId v, std::uint64_t count);
+  void charge_symmetric_broadcast(VertexId v, std::uint64_t awake_neighbors,
+                                  std::uint32_t bits);
+  void decide(VertexId v, std::int64_t output, VirtualRound round);
+  void finish(VertexId v, VirtualRound round);
+
   bool decided(VertexId v) const { return decided_[v] != 0; }
   std::int64_t output(VertexId v) const { return outputs_[v]; }
 
   sim::Metrics& metrics() { return metrics_; }
 
+  /// True when per-node sim::Metrics are maintained (BulkOptions::
+  /// node_metrics); the memory-diet mode for the 10^8 regime disables
+  /// them.
+  bool node_metrics_enabled() const { return options_.node_metrics; }
+
   /// Finalizes makespan and moves the run's results out.
   BulkResult take_result();
 
  private:
+  friend class BulkChunk;
+
+  // Folds one chunk's aggregate partials into the metrics. Called in
+  // chunk index order.
+  void merge_chunk(const BulkChunk& chunk);
+
   const Graph& graph_;
   BulkOptions options_;
   std::uint64_t seed_;
@@ -140,10 +245,69 @@ class BulkEngine {
   sim::Metrics metrics_;
   std::vector<std::int64_t> outputs_;
   std::vector<std::uint8_t> decided_;
-  std::vector<std::uint64_t> awake_epoch_;
-  std::uint64_t epoch_ = 0;
+  // 32-bit epoch stamps keep the array at 4 bytes/node for the 10^8
+  // regime; mark_awake resets the array on the (theoretical) wrap.
+  std::vector<std::uint32_t> awake_epoch_;
+  std::uint32_t epoch_ = 0;
   VirtualRound virtual_makespan_ = 0;
 };
+
+// --- BulkChunk inline implementations --------------------------------
+
+inline void BulkChunk::charge_send(VertexId v, std::uint64_t attempted,
+                                   std::uint64_t delivered,
+                                   std::uint32_t bits) {
+  if (attempted == 0) return;
+  if (eng_->options_.node_metrics) {
+    eng_->metrics_.node[v].messages_sent += attempted;
+  }
+  total_messages_ += delivered;
+  dropped_messages_ += attempted - delivered;
+  max_message_bits_seen_ = std::max(max_message_bits_seen_, bits);
+  if (eng_->options_.max_message_bits != 0 &&
+      bits > eng_->options_.max_message_bits) {
+    congest_violations_ += attempted;
+    if (eng_->options_.throw_on_congest_violation) {
+      // Propagates through the pool's fork-join rethrow in parallel
+      // scans. Chunk partials of an aborted scan are discarded.
+      throw sim::CongestViolation(
+          "message of " + std::to_string(bits) + " bits exceeds CONGEST " +
+          "budget of " + std::to_string(eng_->options_.max_message_bits));
+    }
+  }
+}
+
+inline void BulkChunk::charge_received(VertexId v, std::uint64_t count) {
+  if (eng_->options_.node_metrics) {
+    eng_->metrics_.node[v].messages_received += count;
+  }
+}
+
+inline void BulkChunk::charge_symmetric_broadcast(VertexId v,
+                                                  std::uint64_t awake_neighbors,
+                                                  std::uint32_t bits) {
+  charge_send(v, eng_->graph_.degree(v), awake_neighbors, bits);
+  charge_received(v, awake_neighbors);
+}
+
+inline void BulkChunk::decide(VertexId v, std::int64_t output,
+                              VirtualRound round) {
+  if (eng_->decided_[v] != 0) return;
+  eng_->decided_[v] = 1;
+  eng_->outputs_[v] = output;
+  if (eng_->options_.node_metrics) {
+    auto& m = eng_->metrics_.node[v];
+    m.decided_round = saturate_round(round);
+    m.awake_at_decision = m.awake_rounds;
+  }
+}
+
+inline void BulkChunk::finish(VertexId v, VirtualRound round) {
+  if (eng_->options_.node_metrics) {
+    eng_->metrics_.node[v].finish_round = saturate_round(round);
+  }
+  virtual_makespan_ = std::max(virtual_makespan_, round);
+}
 
 /// A protocol implemented against BulkEngine. One instance drives all
 /// nodes of one run (flat state belongs to the protocol object).

@@ -1,5 +1,6 @@
 #include "bulk/sleeping_mis.h"
 
+#include <atomic>
 #include <numeric>
 #include <utility>
 
@@ -23,6 +24,15 @@ VirtualRound duration128(std::uint32_t k) {
 // owns [s, s+T(k)-1], partitioned into its first detection round {s},
 // the left child's window, the synchronization round, the second
 // detection round, and the right child's window.
+//
+// Each of the three communication rounds of a frame is one sharded
+// scan_awake() over the member list. Per-node tri-state statuses are
+// accessed through relaxed std::atomic_ref: the sync scan's predicate
+// ("has a kTrue neighbor") only races against Unknown -> False
+// transitions and the second detection's ("all neighbors kFalse") only
+// against Unknown -> True, so — exactly the argument that lets the
+// serial code scan in place — the concurrent value is deterministic
+// regardless of lane interleaving.
 struct Walker {
   BulkEngine& eng;
   const Graph& g;
@@ -38,6 +48,16 @@ struct Walker {
     return (bits[std::uint64_t{v} * words_per_node + i / 64] >> (i % 64)) & 1;
   }
 
+  MisValue value_of(VertexId v) {
+    return static_cast<MisValue>(
+        std::atomic_ref(value[v]).load(std::memory_order_relaxed));
+  }
+
+  void set_value(VertexId v, MisValue x) {
+    std::atomic_ref(value[v]).store(static_cast<std::uint8_t>(x),
+                                    std::memory_order_relaxed);
+  }
+
   /// Lines 9-12 of the paper: the k = 0 base case. It spends no rounds;
   /// its code runs during the resume of the parent's preceding
   /// communication round, so decisions are stamped with that round.
@@ -46,12 +66,15 @@ struct Walker {
     if (trace != nullptr) {
       trace->calls[{0, path}].participants += members.size();
     }
-    for (const VertexId v : members) {
-      if (value[v] == static_cast<std::uint8_t>(MisValue::kUnknown)) {
-        value[v] = static_cast<std::uint8_t>(MisValue::kTrue);
-        eng.decide(v, 1, decide_round);
+    eng.scan_awake(members, [&](BulkChunk& chunk,
+                                std::span<const VertexId> part) {
+      for (const VertexId v : part) {
+        if (value_of(v) == MisValue::kUnknown) {
+          set_value(v, MisValue::kTrue);
+          chunk.decide(v, 1, decide_round);
+        }
       }
-    }
+    });
   }
 
   void frame(std::uint32_t k, std::uint64_t path, VirtualRound start,
@@ -69,28 +92,36 @@ struct Walker {
     // in G[U]".
     eng.mark_awake(members);
     eng.charge_round(members, start);
-    for (const VertexId v : members) {
-      std::uint64_t awake_nbrs = 0;
-      for (const VertexId u : g.neighbors(v)) {
-        awake_nbrs += eng.is_awake(u) ? 1 : 0;
-      }
-      eng.charge_symmetric_broadcast(v, awake_nbrs, hello_bits);
-      if (awake_nbrs == 0 &&
-          value[v] == static_cast<std::uint8_t>(MisValue::kUnknown)) {
-        value[v] = static_cast<std::uint8_t>(MisValue::kTrue);
-        eng.decide(v, 1, start);
-        if (stats != nullptr) ++stats->isolated_joins;
-      }
-    }
+    const ScanResult detect1 = eng.scan_awake(
+        members, [&](BulkChunk& chunk, std::span<const VertexId> part) {
+          for (const VertexId v : part) {
+            std::uint64_t awake_nbrs = 0;
+            for (const VertexId u : g.neighbors(v)) {
+              awake_nbrs += eng.is_awake(u) ? 1 : 0;
+            }
+            chunk.charge_symmetric_broadcast(v, awake_nbrs, hello_bits);
+            if (awake_nbrs == 0 && value_of(v) == MisValue::kUnknown) {
+              set_value(v, MisValue::kTrue);
+              chunk.decide(v, 1, start);
+              chunk.bump();
+            }
+          }
+        });
+    if (stats != nullptr) stats->isolated_joins += detect1.user;
 
-    // Left recursion (lines 17-21): undecided members with X_k = 1.
-    std::vector<VertexId> left;
-    for (const VertexId v : members) {
-      if (value[v] == static_cast<std::uint8_t>(MisValue::kUnknown) &&
-          coin(v, k)) {
-        left.push_back(v);
-      }
-    }
+    // Left recursion (lines 17-21): undecided members with X_k = 1. The
+    // keep() lists concatenate in chunk order, preserving member order.
+    std::vector<VertexId> left =
+        eng.scan_awake(members,
+                       [&](BulkChunk& chunk, std::span<const VertexId> part) {
+                         for (const VertexId v : part) {
+                           if (value_of(v) == MisValue::kUnknown &&
+                               coin(v, k)) {
+                             chunk.keep(v);
+                           }
+                         }
+                       })
+            .kept;
     if (stats != nullptr) stats->left += left.size();
     if (!left.empty()) {
       if (k == 1) {
@@ -105,26 +136,28 @@ struct Walker {
     // with an MIS neighbor in the frame is eliminated. Only
     // Unknown -> False transitions happen here, so the in-place status
     // scan observes the same "has a kTrue neighbor" predicate the
-    // coroutine engine's message snapshot does.
+    // coroutine engine's message snapshot does — per lane as well as
+    // serially.
     const VirtualRound sync = start + duration128(k - 1) + 1;
     eng.mark_awake(members);  // children bumped the epoch during the left call
     eng.charge_round(members, sync);
-    for (const VertexId v : members) {
-      std::uint64_t awake_nbrs = 0;
-      bool mis_neighbor = false;
-      for (const VertexId u : g.neighbors(v)) {
-        if (!eng.is_awake(u)) continue;
-        ++awake_nbrs;
-        mis_neighbor |=
-            value[u] == static_cast<std::uint8_t>(MisValue::kTrue);
+    eng.scan_awake(members, [&](BulkChunk& chunk,
+                                std::span<const VertexId> part) {
+      for (const VertexId v : part) {
+        std::uint64_t awake_nbrs = 0;
+        bool mis_neighbor = false;
+        for (const VertexId u : g.neighbors(v)) {
+          if (!eng.is_awake(u)) continue;
+          ++awake_nbrs;
+          mis_neighbor |= value_of(u) == MisValue::kTrue;
+        }
+        chunk.charge_symmetric_broadcast(v, awake_nbrs, status_bits);
+        if (mis_neighbor && value_of(v) == MisValue::kUnknown) {
+          set_value(v, MisValue::kFalse);
+          chunk.decide(v, 0, sync);
+        }
       }
-      eng.charge_symmetric_broadcast(v, awake_nbrs, status_bits);
-      if (mis_neighbor &&
-          value[v] == static_cast<std::uint8_t>(MisValue::kUnknown)) {
-        value[v] = static_cast<std::uint8_t>(MisValue::kFalse);
-        eng.decide(v, 0, sync);
-      }
-    }
+    });
 
     // Second isolated-node detection (lines 26-29), 1 round: an
     // undecided node all of whose frame neighbors are eliminated joins.
@@ -132,30 +165,35 @@ struct Walker {
     // block a neighbor's join, so the in-place scan is again exact.
     const VirtualRound detect2 = sync + 1;
     eng.charge_round(members, detect2);
-    for (const VertexId v : members) {
-      std::uint64_t awake_nbrs = 0;
-      bool all_eliminated = true;
-      for (const VertexId u : g.neighbors(v)) {
-        if (!eng.is_awake(u)) continue;
-        ++awake_nbrs;
-        all_eliminated &=
-            value[u] == static_cast<std::uint8_t>(MisValue::kFalse);
+    eng.scan_awake(members, [&](BulkChunk& chunk,
+                                std::span<const VertexId> part) {
+      for (const VertexId v : part) {
+        std::uint64_t awake_nbrs = 0;
+        bool all_eliminated = true;
+        for (const VertexId u : g.neighbors(v)) {
+          if (!eng.is_awake(u)) continue;
+          ++awake_nbrs;
+          all_eliminated &= value_of(u) == MisValue::kFalse;
+        }
+        chunk.charge_symmetric_broadcast(v, awake_nbrs, status_bits);
+        if (all_eliminated && value_of(v) == MisValue::kUnknown) {
+          set_value(v, MisValue::kTrue);
+          chunk.decide(v, 1, detect2);
+        }
       }
-      eng.charge_symmetric_broadcast(v, awake_nbrs, status_bits);
-      if (all_eliminated &&
-          value[v] == static_cast<std::uint8_t>(MisValue::kUnknown)) {
-        value[v] = static_cast<std::uint8_t>(MisValue::kTrue);
-        eng.decide(v, 1, detect2);
-      }
-    }
+    });
 
     // Right recursion (lines 30-34): still-undecided members.
-    std::vector<VertexId> right;
-    for (const VertexId v : members) {
-      if (value[v] == static_cast<std::uint8_t>(MisValue::kUnknown)) {
-        right.push_back(v);
-      }
-    }
+    std::vector<VertexId> right =
+        eng.scan_awake(members,
+                       [&](BulkChunk& chunk, std::span<const VertexId> part) {
+                         for (const VertexId v : part) {
+                           if (value_of(v) == MisValue::kUnknown) {
+                             chunk.keep(v);
+                           }
+                         }
+                       })
+            .kept;
     if (stats != nullptr) stats->right += right.size();
     if (!right.empty()) {
       if (k == 1) {
@@ -188,27 +226,30 @@ void BulkSleepingMis::run(BulkEngine& engine) {
   w.value.assign(n, static_cast<std::uint8_t>(core::MisValue::kUnknown));
 
   // Draw the coin bits X_1..X_K from the same per-node streams, in the
-  // same order, as core::sleeping_mis's node_main.
+  // same order, as core::sleeping_mis's node_main. Sharded over the
+  // pool: each node's stream and bit words belong to one lane.
   if (trace_ != nullptr) {
     trace_->levels = levels;
     if (trace_->bits.size() != n) trace_->bits.resize(n);
   }
-  for (VertexId v = 0; v < n; ++v) {
-    Rng rng = engine.node_rng(v);
-    const std::uint64_t base = std::uint64_t{v} * w.words_per_node;
-    for (std::uint32_t i = 1; i <= levels; ++i) {
-      if (rng.bernoulli(options_.coin_bias)) {
-        w.bits[base + i / 64] |= std::uint64_t{1} << (i % 64);
-      }
-    }
-    if (trace_ != nullptr) {
-      std::vector<std::uint8_t>& node_bits = trace_->bits[v];
-      node_bits.assign(levels + 1, 0);
+  engine.scan_range(n, [&](BulkChunk&, std::size_t begin, std::size_t end) {
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      Rng rng = engine.node_rng(v);
+      const std::uint64_t base = std::uint64_t{v} * w.words_per_node;
       for (std::uint32_t i = 1; i <= levels; ++i) {
-        node_bits[i] = w.coin(v, i) ? 1 : 0;
+        if (rng.bernoulli(options_.coin_bias)) {
+          w.bits[base + i / 64] |= std::uint64_t{1} << (i % 64);
+        }
+      }
+      if (trace_ != nullptr) {
+        std::vector<std::uint8_t>& node_bits = trace_->bits[v];
+        node_bits.assign(levels + 1, 0);
+        for (std::uint32_t i = 1; i <= levels; ++i) {
+          node_bits[i] = w.coin(v, i) ? 1 : 0;
+        }
       }
     }
-  }
+  });
 
   std::vector<VertexId> everyone(n);
   std::iota(everyone.begin(), everyone.end(), VertexId{0});
@@ -225,7 +266,12 @@ void BulkSleepingMis::run(BulkEngine& engine) {
   // (Lemma 1's synchronization guarantee), trailing sleeps included.
   w.frame(levels, 0, 1, std::move(everyone));
   const VirtualRound total = duration128(levels);
-  for (VertexId v = 0; v < n; ++v) engine.finish(v, total);
+  engine.scan_range(n, [&](BulkChunk& chunk, std::size_t begin,
+                           std::size_t end) {
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      chunk.finish(v, total);
+    }
+  });
 }
 
 BulkResult bulk_sleeping_mis(const Graph& g, std::uint64_t seed,

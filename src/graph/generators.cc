@@ -156,6 +156,32 @@ Graph clique_chain(VertexId n, VertexId clique_size) {
   return std::move(builder).build();
 }
 
+namespace {
+
+/// Shared Batagelj-Brandes geometric-skipping core of gnp / gnp_csr:
+/// streams every G(n, p) edge (u, v) with u < v, v-major with both
+/// coordinates ascending, to `fn`. O(n + m) expected; requires
+/// 0 < p < 1 and n >= 2. Both gnp entry points drive this with the same
+/// RNG draws, so they realize the identical edge set.
+template <typename Fn>
+void for_each_gnp_edge(VertexId n, double p, Rng& rng, Fn&& fn) {
+  const double log1mp = std::log1p(-p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (v < nn) {
+    const double r = rng.uniform();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp));
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn) fn(static_cast<VertexId>(w), static_cast<VertexId>(v));
+  }
+}
+
+}  // namespace
+
 Graph gnp(VertexId n, double p, Rng& rng) {
   GraphBuilder builder(n);
   if (p <= 0.0 || n < 2) return std::move(builder).build();
@@ -168,31 +194,18 @@ Graph gnp(VertexId n, double p, Rng& rng) {
   const double mean = p * pairs;
   builder.reserve(static_cast<std::size_t>(
       mean + 4.0 * std::sqrt(mean * (1.0 - p)) + 16.0));
-  // Geometric skipping (Batagelj-Brandes): O(n + m) expected. Edges are
-  // staged through a fixed-size chunk and flushed via add_edges, the
-  // streaming construction path.
+  // Edges are staged through a fixed-size chunk and flushed via
+  // add_edges, the streaming construction path.
   std::vector<Edge> chunk;
   constexpr std::size_t kChunk = 1 << 14;
   chunk.reserve(kChunk);
-  const double log1mp = std::log1p(-p);
-  std::int64_t v = 1;
-  std::int64_t w = -1;
-  const auto nn = static_cast<std::int64_t>(n);
-  while (v < nn) {
-    const double r = rng.uniform();
-    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp));
-    while (w >= v && v < nn) {
-      w -= v;
-      ++v;
+  for_each_gnp_edge(n, p, rng, [&](VertexId u, VertexId v) {
+    chunk.push_back({u, v});
+    if (chunk.size() == kChunk) {
+      builder.add_edges(chunk);
+      chunk.clear();
     }
-    if (v < nn) {
-      chunk.push_back({static_cast<VertexId>(w), static_cast<VertexId>(v)});
-      if (chunk.size() == kChunk) {
-        builder.add_edges(chunk);
-        chunk.clear();
-      }
-    }
-  }
+  });
   builder.add_edges(chunk);
   return std::move(builder).build();
 }
@@ -200,6 +213,59 @@ Graph gnp(VertexId n, double p, Rng& rng) {
 Graph gnp_avg_degree(VertexId n, double avg_deg, Rng& rng) {
   if (n < 2) return empty(n);
   return gnp(n, std::min(1.0, avg_deg / static_cast<double>(n - 1)), rng);
+}
+
+Graph gnp_csr(VertexId n, double p, Rng& rng) {
+  std::vector<CsrOffset> offsets(std::uint64_t{n} + 1, 0);
+  if (p <= 0.0 || n < 2) {
+    return Graph::from_csr(n, std::move(offsets), {});
+  }
+  if (p >= 1.0) {
+    // K_n straight into CSR.
+    checked_edge_count(std::uint64_t{n} * (n - 1) / 2, "gnp_csr");
+    std::vector<VertexId> adjacency;
+    adjacency.reserve(std::uint64_t{n} * (n - 1));
+    for (VertexId v = 0; v < n; ++v) {
+      offsets[std::uint64_t{v} + 1] =
+          offsets[v] + (std::uint64_t{n} - 1);
+      for (VertexId u = 0; u < n; ++u) {
+        if (u != v) adjacency.push_back(u);
+      }
+    }
+    return Graph::from_csr(n, std::move(offsets), std::move(adjacency));
+  }
+  // Pass 1 on a copy of the RNG: count degrees.
+  std::uint64_t m = 0;
+  {
+    std::vector<std::uint32_t> deg(n, 0);
+    Rng probe = rng;
+    for_each_gnp_edge(n, p, probe, [&](VertexId u, VertexId v) {
+      ++deg[u];
+      ++deg[v];
+      ++m;
+    });
+    checked_edge_count(m, "gnp_csr");
+    for (VertexId v = 0; v < n; ++v) {
+      offsets[std::uint64_t{v} + 1] = offsets[v] + deg[v];
+    }
+  }
+  // Pass 2 replays the identical draw sequence on the caller's RNG
+  // (leaving it in the same final state as gnp) and scatters into the
+  // adjacency array. The stream is v-major with ascending coordinates,
+  // so every vertex's range comes out sorted: u < x entries land while
+  // the stream is at v == x, all v > x entries after, each ascending.
+  std::vector<VertexId> adjacency(offsets[n]);
+  std::vector<CsrOffset> cursor(offsets.begin(), offsets.end() - 1);
+  for_each_gnp_edge(n, p, rng, [&](VertexId u, VertexId v) {
+    adjacency[cursor[u]++] = v;
+    adjacency[cursor[v]++] = u;
+  });
+  return Graph::from_csr(n, std::move(offsets), std::move(adjacency));
+}
+
+Graph gnp_avg_degree_csr(VertexId n, double avg_deg, Rng& rng) {
+  if (n < 2) return gnp_csr(n, 0.0, rng);
+  return gnp_csr(n, std::min(1.0, avg_deg / static_cast<double>(n - 1)), rng);
 }
 
 Graph random_tree(VertexId n, Rng& rng) {

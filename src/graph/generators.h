@@ -67,6 +67,18 @@ Graph gnp(VertexId n, double p, Rng& rng);
 /// Erdos-Renyi with expected average degree `avg_deg` (p = avg_deg/(n-1)).
 Graph gnp_avg_degree(VertexId n, double avg_deg, Rng& rng);
 
+/// Memory-diet G(n, p): the identical edge set (and final RNG state) as
+/// gnp(n, p, rng), but streamed straight into CSR with no edge-list
+/// stage — pass 1 counts degrees on a copy of the RNG, pass 2 replays
+/// the same skip sequence into the adjacency array. The result drops
+/// Graph::edges() (has_edge_list() == false), cutting peak memory from
+/// ~16 bytes/edge (CSR + staged edge list) to the CSR arrays alone;
+/// this is the 10^8-node path of bench_bulk_scaling --mem-diet.
+Graph gnp_csr(VertexId n, double p, Rng& rng);
+
+/// Memory-diet companion of gnp_avg_degree (p = avg_deg/(n-1)).
+Graph gnp_avg_degree_csr(VertexId n, double avg_deg, Rng& rng);
+
 /// Uniform random labeled tree (Pruefer sequence).
 Graph random_tree(VertexId n, Rng& rng);
 

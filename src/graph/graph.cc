@@ -38,6 +38,7 @@ Graph::Graph(VertexId n, std::vector<Edge> edges) : n_(n) {
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
   edges_ = std::move(edges);
+  num_edges_ = edges_.size();
 
   std::vector<std::uint32_t> deg(n, 0);
   for (const Edge& e : edges_) {
@@ -61,6 +62,60 @@ Graph::Graph(VertexId n, std::vector<Edge> edges) : n_(n) {
               adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]));
     max_degree_ = std::max(max_degree_, deg[v]);
   }
+}
+
+const std::vector<Edge>& Graph::edges() const {
+  if (!has_edge_list_) {
+    throw std::logic_error(
+        "Graph::edges: edge list dropped (memory-diet CSR graph); iterate "
+        "neighbors() with u < v instead");
+  }
+  return edges_;
+}
+
+Graph Graph::from_csr(VertexId n, std::vector<CsrOffset> offsets,
+                      std::vector<VertexId> adjacency) {
+  if (offsets.size() != std::uint64_t{n} + 1 || offsets.front() != 0 ||
+      offsets.back() != adjacency.size() || adjacency.size() % 2 != 0) {
+    throw std::invalid_argument("Graph::from_csr: malformed CSR shape");
+  }
+  checked_edge_count(adjacency.size() / 2, "Graph::from_csr");
+  Graph g;
+  g.n_ = n;
+  g.num_edges_ = adjacency.size() / 2;
+  g.has_edge_list_ = false;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  // Validate the caller's contract: monotone offsets, each range sorted
+  // strictly ascending (no duplicates), in-range endpoints, no
+  // self-loops, and symmetric membership ({u,v} in both ranges — checked
+  // cheaply via degree-balanced mirror lookups).
+  std::uint64_t mirrored = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.offsets_[v] > g.offsets_[v + 1]) {
+      throw std::invalid_argument("Graph::from_csr: offsets not monotone");
+    }
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (u >= n) {
+        throw std::invalid_argument("Graph::from_csr: endpoint out of range");
+      }
+      if (u == v) {
+        throw std::invalid_argument("Graph::from_csr: self-loop");
+      }
+      if (i > 0 && nbrs[i - 1] >= u) {
+        throw std::invalid_argument(
+            "Graph::from_csr: adjacency range not sorted ascending");
+      }
+      if (u > v && g.port_to(u, v) >= 0) ++mirrored;
+    }
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
+  if (mirrored != g.num_edges_) {
+    throw std::invalid_argument("Graph::from_csr: asymmetric adjacency");
+  }
+  return g;
 }
 
 std::int64_t Graph::port_to(VertexId v, VertexId u) const {

@@ -58,8 +58,25 @@ class Graph {
   /// Endpoints must be < n.
   Graph(VertexId n, std::vector<Edge> edges);
 
+  /// Memory-diet construction straight from CSR arrays, retaining NO
+  /// edge list (has_edge_list() is false and edges() throws
+  /// std::logic_error). `offsets` must have n+1 entries with
+  /// offsets[0] == 0 and offsets[n] == adjacency.size(); every
+  /// adjacency range must be sorted ascending with in-range endpoints
+  /// and no self-loops or duplicates, and edge {u,v} must appear in
+  /// both endpoint ranges (all validated, throws std::invalid_argument).
+  /// This is the 10^8-node path: peak memory is the CSR arrays
+  /// themselves, skipping the ~8 bytes/edge staging list of
+  /// GraphBuilder (see gen::gnp_csr).
+  static Graph from_csr(VertexId n, std::vector<CsrOffset> offsets,
+                        std::vector<VertexId> adjacency);
+
   VertexId num_vertices() const { return n_; }
-  std::size_t num_edges() const { return edges_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// False for memory-diet graphs built by from_csr: the CSR arrays are
+  /// authoritative and edges() is unavailable.
+  bool has_edge_list() const { return has_edge_list_; }
 
   /// Degree of vertex v.
   std::uint32_t degree(VertexId v) const {
@@ -93,8 +110,10 @@ class Graph {
   /// True iff {u, v} is an edge.
   bool has_edge(VertexId u, VertexId v) const { return port_to(u, v) >= 0; }
 
-  /// The normalized, sorted edge list.
-  const std::vector<Edge>& edges() const { return edges_; }
+  /// The normalized, sorted edge list. Throws std::logic_error on a
+  /// memory-diet graph (see from_csr / has_edge_list); iterate the CSR
+  /// via neighbors() with u < v there instead.
+  const std::vector<Edge>& edges() const;
 
   /// True iff the vertex has no incident edges.
   bool is_isolated(VertexId v) const { return degree(v) == 0; }
@@ -118,9 +137,12 @@ class Graph {
  private:
   VertexId n_ = 0;
   std::uint32_t max_degree_ = 0;
+  std::uint64_t num_edges_ = 0;
+  bool has_edge_list_ = true;
   std::vector<CsrOffset> offsets_;     // size n_+1
   std::vector<VertexId> adjacency_;    // size 2|E|
-  std::vector<Edge> edges_;            // sorted, normalized
+  std::vector<Edge> edges_;            // sorted, normalized; empty when
+                                       // has_edge_list_ is false
 };
 
 /// Narrows a 64-bit vertex count to VertexId, throwing std::overflow_error

@@ -27,6 +27,11 @@ struct NodeMetrics {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
   bool crashed = false;  // fail-stop injected (see NetworkOptions)
+
+  /// Whole-struct bitwise comparison: the engine-equivalence and
+  /// thread-determinism gates compare entire runs with ==, so a new
+  /// field can never silently fall out of those checks.
+  friend bool operator==(const NodeMetrics&, const NodeMetrics&) = default;
 };
 
 struct Metrics {
@@ -47,6 +52,10 @@ struct Metrics {
   std::uint64_t worst_finish() const;
   double node_avg_decided() const;
   double node_avg_awake_at_decision() const;
+
+  /// Field-complete equality (per-node vector included); see
+  /// NodeMetrics::operator==.
+  friend bool operator==(const Metrics&, const Metrics&) = default;
 };
 
 }  // namespace slumber::sim

@@ -4,6 +4,15 @@
 
 namespace slumber::util {
 
+namespace {
+// The pool (if any) whose batch this thread is currently draining.
+// parallel_for_index checks it to run nested same-pool calls serially
+// inline instead of deadlocking on the outer batch's lanes. Nested
+// calls on a *different* pool dispatch normally (that pool's workers
+// are idle).
+thread_local const ThreadPool* t_draining_pool = nullptr;
+}  // namespace
+
 unsigned ThreadPool::hardware_threads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
@@ -26,9 +35,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::drain_batch(const std::function<void(std::size_t)>& fn) {
+  const ThreadPool* const outer = t_draining_pool;
+  t_draining_pool = this;
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= num_items_) return;
+    if (i >= num_items_) break;
     try {
       fn(i);
     } catch (...) {
@@ -36,9 +47,10 @@ void ThreadPool::drain_batch(const std::function<void(std::size_t)>& fn) {
       if (!first_error_) first_error_ = std::current_exception();
       // Poison the cursor so everyone abandons the batch promptly.
       next_.store(num_items_, std::memory_order_relaxed);
-      return;
+      break;
     }
   }
+  t_draining_pool = outer;
 }
 
 void ThreadPool::worker_loop() {
@@ -65,8 +77,11 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for_index(
     std::size_t num_items, const std::function<void(std::size_t)>& fn) {
   if (num_items == 0) return;
-  if (workers_.empty() || num_items == 1) {
-    // Serial fast path; identical results by the item-index contract.
+  if (workers_.empty() || num_items == 1 || t_draining_pool == this) {
+    // Serial fast path — also taken by nested calls on the pool this
+    // thread is already draining, where dispatching would deadlock
+    // (every lane is busy with the outer batch). Identical results by
+    // the item-index contract; no CV traffic.
     for (std::size_t i = 0; i < num_items; ++i) fn(i);
     return;
   }
@@ -89,6 +104,22 @@ void ThreadPool::parallel_for_index(
     error = first_error_;
   }
   if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallel_for_range(
+    std::size_t total,
+    const std::function<void(std::size_t chunk, std::size_t begin,
+                             std::size_t end)>& fn) {
+  const std::size_t chunks = num_chunks(total);
+  if (chunks == 0) return;
+  const std::size_t base = total / chunks;
+  const std::size_t rem = total % chunks;
+  parallel_for_index(chunks, [&](std::size_t c) {
+    // The first `rem` chunks carry one extra item.
+    const std::size_t begin = c * base + std::min(c, rem);
+    const std::size_t end = begin + base + (c < rem ? 1 : 0);
+    fn(c, begin, end);
+  });
 }
 
 }  // namespace slumber::util

@@ -1,5 +1,5 @@
 // A small fixed-size fork-join thread pool for embarrassingly parallel
-// trial batches.
+// trial batches and intra-trial range sharding.
 //
 // The pool is deliberately work-stealing-free: one shared atomic cursor
 // hands out item indices, the calling thread participates, and
@@ -7,6 +7,19 @@
 // make the work for item i depend only on i (never on claim order or
 // thread identity); under that contract results are deterministic for
 // any pool size, including 1.
+//
+// parallel_for_range() layers contiguous range sharding on top: [0,
+// total) is split into at most num_threads() balanced chunks whose
+// boundaries depend only on (total, num_threads()), so per-chunk
+// partial accumulators can be reduced in chunk index order for bitwise
+// reproducible results at every thread count (the bulk execution
+// engine's awake-set scans are built on this).
+//
+// Reentrancy: a nested parallel_for_index / parallel_for_range on the
+// pool a thread is already draining would deadlock (the outer batch
+// holds every lane), so nested calls are detected via a thread-local
+// marker and run serially inline on the calling thread — which is
+// deterministic and correct by the item-index contract.
 #pragma once
 
 #include <atomic>
@@ -39,10 +52,34 @@ class ThreadPool {
   /// Runs fn(i) once for every i in [0, num_items), sharded across the
   /// pool; the calling thread participates. Blocks until all items are
   /// done, then rethrows the first exception thrown by fn (remaining
-  /// unclaimed items are abandoned). Not reentrant: fn must not call
-  /// parallel_for_index on the same pool.
+  /// unclaimed items are abandoned). An empty batch returns immediately
+  /// and a 1-item batch runs inline on the caller — neither touches the
+  /// condition variables. A nested call from inside fn on the same pool
+  /// runs serially inline instead of deadlocking.
   void parallel_for_index(std::size_t num_items,
                           const std::function<void(std::size_t)>& fn);
+
+  /// Number of contiguous chunks parallel_for_range splits `total`
+  /// items into: min(num_threads(), total). Depends only on the pool
+  /// size and `total`, so callers can pre-size per-chunk accumulator
+  /// arrays before dispatch.
+  std::size_t num_chunks(std::size_t total) const {
+    const std::size_t lanes = num_threads();
+    return total < lanes ? total : lanes;
+  }
+
+  /// Runs fn(chunk, begin, end) for every chunk c in [0,
+  /// num_chunks(total)), where [begin, end) are contiguous, disjoint,
+  /// cover [0, total), appear in index order (chunk c+1 starts where
+  /// chunk c ends), and differ in size by at most one item. Chunks run
+  /// in parallel (the caller participates); boundaries are a pure
+  /// function of (total, num_threads()). For order-sensitive
+  /// reductions, accumulate per-chunk partials and merge them in chunk
+  /// index order after this returns.
+  void parallel_for_range(
+      std::size_t total,
+      const std::function<void(std::size_t chunk, std::size_t begin,
+                               std::size_t end)>& fn);
 
   /// std::thread::hardware_concurrency(), clamped to at least 1.
   static unsigned hardware_threads();
@@ -50,6 +87,8 @@ class ThreadPool {
  private:
   void worker_loop();
   // Claims and runs items until the batch is exhausted or poisoned.
+  // Marks this thread as draining `this` for the duration (reentrancy
+  // detection).
   void drain_batch(const std::function<void(std::size_t)>& fn);
 
   std::mutex mutex_;

@@ -18,6 +18,7 @@
 #include "bulk/sleeping_mis.h"
 #include "core/sleeping_mis.h"
 #include "graph/generators.h"
+#include "metrics_test_util.h"
 #include "sim/network.h"
 
 namespace slumber {
@@ -25,38 +26,6 @@ namespace {
 
 using analysis::ExecEngine;
 using analysis::MisEngine;
-
-void ExpectMetricsEqual(const sim::Metrics& coro, const sim::Metrics& bulk) {
-  ASSERT_EQ(coro.node.size(), bulk.node.size());
-  for (std::size_t v = 0; v < coro.node.size(); ++v) {
-    const sim::NodeMetrics& a = coro.node[v];
-    const sim::NodeMetrics& b = bulk.node[v];
-    const bool equal =
-        a.awake_rounds == b.awake_rounds && a.finish_round == b.finish_round &&
-        a.decided_round == b.decided_round &&
-        a.awake_at_decision == b.awake_at_decision &&
-        a.messages_sent == b.messages_sent &&
-        a.messages_received == b.messages_received && a.crashed == b.crashed;
-    if (!equal) {
-      EXPECT_EQ(a.awake_rounds, b.awake_rounds) << "node " << v;
-      EXPECT_EQ(a.finish_round, b.finish_round) << "node " << v;
-      EXPECT_EQ(a.decided_round, b.decided_round) << "node " << v;
-      EXPECT_EQ(a.awake_at_decision, b.awake_at_decision) << "node " << v;
-      EXPECT_EQ(a.messages_sent, b.messages_sent) << "node " << v;
-      EXPECT_EQ(a.messages_received, b.messages_received) << "node " << v;
-      FAIL() << "per-node metrics diverge first at node " << v;
-    }
-  }
-  EXPECT_EQ(coro.makespan, bulk.makespan);
-  EXPECT_EQ(coro.total_messages, bulk.total_messages);
-  EXPECT_EQ(coro.dropped_messages, bulk.dropped_messages);
-  EXPECT_EQ(coro.injected_losses, bulk.injected_losses);
-  EXPECT_EQ(coro.crashed_nodes, bulk.crashed_nodes);
-  EXPECT_EQ(coro.total_awake_node_rounds, bulk.total_awake_node_rounds);
-  EXPECT_EQ(coro.distinct_active_rounds, bulk.distinct_active_rounds);
-  EXPECT_EQ(coro.congest_violations, bulk.congest_violations);
-  EXPECT_EQ(coro.max_message_bits_seen, bulk.max_message_bits_seen);
-}
 
 void ExpectEnginesAgree(MisEngine engine, const Graph& g, std::uint64_t seed) {
   SCOPED_TRACE("engine=" + analysis::engine_name(engine) +

@@ -1,0 +1,285 @@
+// Bitwise-equivalence matrix for the intra-trial parallel bulk path:
+// sharding the per-frame node scans over a thread pool must reproduce
+// the serial bulk engine — and therefore the coroutine engine — exactly
+// (outputs, per-node + aggregate sim::Metrics, recursion traces) for
+// every thread count. The suites run with parallel_cutoff = 1 so even
+// tiny recursion frames dispatch through the pool, exercising the
+// chunked accounting merge on every scan. These tests are also the
+// ThreadSanitizer workload for the parallel bulk path (the tsan CI
+// job).
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "analysis/verify.h"
+#include "bulk/baselines.h"
+#include "bulk/engine.h"
+#include "bulk/sleeping_mis.h"
+#include "core/sleeping_mis.h"
+#include "graph/generators.h"
+#include "metrics_test_util.h"
+#include "sim/network.h"
+#include "util/thread_pool.h"
+
+namespace slumber {
+namespace {
+
+using analysis::ExecEngine;
+using analysis::MisEngine;
+
+// The acceptance matrix's lane counts; 1 pins the pooled-but-serial
+// configuration against the pool-less path.
+const unsigned kLaneCounts[] = {1, 2, 3, 8};
+
+bulk::BulkOptions parallel_options(const Graph& g, util::ThreadPool* pool) {
+  bulk::BulkOptions options;
+  options.max_message_bits = sim::congest_bits_for(g.num_vertices());
+  options.pool = pool;
+  options.parallel_cutoff = 1;  // shard even one-node frames
+  return options;
+}
+
+bulk::BulkResult run_bulk_mis(MisEngine engine, const Graph& g,
+                              std::uint64_t seed, util::ThreadPool* pool,
+                              core::RecursionTrace* trace = nullptr) {
+  auto protocol = bulk::bulk_mis_protocol(engine, trace);
+  EXPECT_NE(protocol, nullptr);
+  return bulk::run_bulk(g, seed, *protocol, parallel_options(g, pool));
+}
+
+// --- the acceptance matrix: thread counts x generators x seeds -------
+
+class BulkParallelCrossValidation
+    : public ::testing::TestWithParam<gen::Family> {};
+
+TEST_P(BulkParallelCrossValidation, SleepingMisTenSeedsAllLaneCounts) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = gen::make(GetParam(), 600, seed);
+    const auto coro = analysis::run_mis(MisEngine::kSleeping, g, seed);
+    const auto serial = run_bulk_mis(MisEngine::kSleeping, g, seed, nullptr);
+    EXPECT_EQ(coro.outputs, serial.outputs) << "seed=" << seed;
+    ExpectMetricsEqual(coro.metrics, serial.metrics);
+    for (const unsigned lanes : kLaneCounts) {
+      SCOPED_TRACE(testing::Message() << "seed=" << seed
+                                      << " lanes=" << lanes);
+      util::ThreadPool pool(lanes);
+      const auto sharded =
+          run_bulk_mis(MisEngine::kSleeping, g, seed, &pool);
+      EXPECT_EQ(serial.outputs, sharded.outputs);
+      EXPECT_TRUE(sharded.virtual_makespan == serial.virtual_makespan);
+      ExpectMetricsEqual(serial.metrics, sharded.metrics);
+    }
+  }
+}
+
+TEST_P(BulkParallelCrossValidation, BaselinesAgreeAcrossLaneCounts) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = gen::make(GetParam(), 256, seed);
+    for (const MisEngine engine :
+         {MisEngine::kLubyA, MisEngine::kLubyB, MisEngine::kGreedy}) {
+      SCOPED_TRACE("engine=" + analysis::engine_name(engine) +
+                   " seed=" + std::to_string(seed));
+      const auto coro = analysis::run_mis(engine, g, seed);
+      for (const unsigned lanes : {2u, 8u}) {
+        util::ThreadPool pool(lanes);
+        const auto sharded = run_bulk_mis(engine, g, seed, &pool);
+        EXPECT_EQ(coro.outputs, sharded.outputs) << lanes << " lanes";
+        ExpectMetricsEqual(coro.metrics, sharded.metrics);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, BulkParallelCrossValidation,
+                         ::testing::Values(gen::Family::kGnpSparse,
+                                           gen::Family::kRandomTree,
+                                           gen::Family::kUnitDisk,
+                                           gen::Family::kStar),
+                         [](const auto& info) {
+                           return gen::family_name(info.param);
+                         });
+
+// --- recursion traces shard-invariantly ------------------------------
+
+TEST(BulkParallelTrace, RecursionTraceMatchesAtEveryLaneCount) {
+  Rng rng(7);
+  const Graph g = gen::gnp_avg_degree(400, 8.0, rng);
+  core::RecursionTrace serial_trace;
+  const auto serial =
+      run_bulk_mis(MisEngine::kSleeping, g, 7, nullptr, &serial_trace);
+  for (const unsigned lanes : kLaneCounts) {
+    SCOPED_TRACE(testing::Message() << "lanes=" << lanes);
+    util::ThreadPool pool(lanes);
+    core::RecursionTrace trace;
+    const auto sharded =
+        run_bulk_mis(MisEngine::kSleeping, g, 7, &pool, &trace);
+    EXPECT_EQ(serial.outputs, sharded.outputs);
+    EXPECT_EQ(serial_trace.levels, trace.levels);
+    EXPECT_EQ(serial_trace.bits, trace.bits);
+    ASSERT_EQ(serial_trace.calls.size(), trace.calls.size());
+    for (const auto& [key, stats] : serial_trace.calls) {
+      const auto it = trace.calls.find(key);
+      ASSERT_NE(it, trace.calls.end())
+          << "call (k=" << key.first << ", path=" << key.second
+          << ") missing at " << lanes << " lanes";
+      EXPECT_EQ(stats.participants, it->second.participants);
+      EXPECT_EQ(stats.left, it->second.left);
+      EXPECT_EQ(stats.right, it->second.right);
+      EXPECT_EQ(stats.isolated_joins, it->second.isolated_joins);
+      EXPECT_EQ(stats.first_round, it->second.first_round);
+    }
+    EXPECT_EQ(serial_trace.z_by_level(), trace.z_by_level());
+  }
+}
+
+// --- protocols outside the MisEngine enum ----------------------------
+
+TEST(BulkParallelBaselines, IsraeliItaiAgreesAcrossLaneCounts) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::gnp_avg_degree(200, 5.0, rng);
+    bulk::BulkIsraeliItai serial_protocol;
+    const auto serial =
+        bulk::run_bulk(g, seed, serial_protocol, parallel_options(g, nullptr));
+    for (const unsigned lanes : {2u, 8u}) {
+      util::ThreadPool pool(lanes);
+      bulk::BulkIsraeliItai protocol;
+      const auto sharded =
+          bulk::run_bulk(g, seed, protocol, parallel_options(g, &pool));
+      EXPECT_EQ(serial.outputs, sharded.outputs)
+          << "seed=" << seed << " lanes=" << lanes;
+      ExpectMetricsEqual(serial.metrics, sharded.metrics);
+    }
+  }
+}
+
+TEST(BulkParallelBaselines, BeepingMisAgreesAcrossLaneCounts) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::gnp_avg_degree(120, 4.0, rng);
+    bulk::BulkOptions base;
+    base.max_message_bits = 1;
+    base.parallel_cutoff = 1;
+    bulk::BulkBeepingMis serial_protocol;
+    const auto serial = bulk::run_bulk(g, seed, serial_protocol, base);
+    for (const unsigned lanes : {2u, 8u}) {
+      util::ThreadPool pool(lanes);
+      bulk::BulkOptions options = base;
+      options.pool = &pool;
+      bulk::BulkBeepingMis protocol;
+      const auto sharded = bulk::run_bulk(g, seed, protocol, options);
+      EXPECT_EQ(serial.outputs, sharded.outputs)
+          << "seed=" << seed << " lanes=" << lanes;
+      ExpectMetricsEqual(serial.metrics, sharded.metrics);
+    }
+  }
+}
+
+// --- run_mis wiring with the default cutoff --------------------------
+
+TEST(BulkParallelRunMis, PoolParameterIsBitwiseInvariant) {
+  // n = 10,000 exceeds the default parallel_cutoff, so the big frames
+  // genuinely shard while the deep tiny frames take the serial path —
+  // both paths must agree with the pool-less run.
+  Rng rng(5);
+  const Graph g = gen::gnp_avg_degree(10000, 8.0, rng);
+  const auto serial =
+      analysis::run_mis(MisEngine::kSleeping, g, 5, nullptr, ExecEngine::kBulk);
+  util::ThreadPool pool(4);
+  const auto sharded = analysis::run_mis(MisEngine::kSleeping, g, 5, nullptr,
+                                         ExecEngine::kBulk, &pool);
+  EXPECT_EQ(serial.outputs, sharded.outputs);
+  EXPECT_EQ(serial.valid, sharded.valid);
+  EXPECT_EQ(serial.mis_size, sharded.mis_size);
+  ExpectMetricsEqual(serial.metrics, sharded.metrics);
+}
+
+// --- memory diet: dropped per-node metrics ---------------------------
+
+TEST(BulkMemoryDiet, NodeMetricsOffKeepsOutputsAndAggregates) {
+  Rng rng(11);
+  const Graph g = gen::gnp_avg_degree(2000, 8.0, rng);
+  const auto full = run_bulk_mis(MisEngine::kSleeping, g, 11, nullptr);
+  for (const unsigned lanes : {1u, 4u}) {
+    util::ThreadPool pool(lanes);
+    bulk::BulkOptions options = parallel_options(g, &pool);
+    options.node_metrics = false;
+    const auto diet = bulk::bulk_sleeping_mis(g, 11, {}, nullptr, options);
+    EXPECT_TRUE(diet.metrics.node.empty()) << lanes << " lanes";
+    EXPECT_EQ(full.outputs, diet.outputs);
+    EXPECT_TRUE(diet.virtual_makespan == full.virtual_makespan);
+    EXPECT_EQ(full.metrics.total_awake_node_rounds,
+              diet.metrics.total_awake_node_rounds);
+    EXPECT_EQ(full.metrics.distinct_active_rounds,
+              diet.metrics.distinct_active_rounds);
+    EXPECT_EQ(full.metrics.total_messages, diet.metrics.total_messages);
+    EXPECT_EQ(full.metrics.dropped_messages, diet.metrics.dropped_messages);
+    EXPECT_EQ(full.metrics.max_message_bits_seen,
+              diet.metrics.max_message_bits_seen);
+    // makespan falls back to the saturated virtual makespan, which for
+    // Algorithm 1 equals every node's finish round.
+    EXPECT_EQ(full.metrics.makespan, diet.metrics.makespan);
+    EXPECT_TRUE(analysis::check_mis(g, diet.outputs).ok());
+  }
+}
+
+// --- memory-diet graphs: streaming CSR construction ------------------
+
+TEST(BulkMemoryDiet, GnpCsrMatchesGnpBitwise) {
+  for (const VertexId n : {2u, 97u, 4000u}) {
+    Rng rng_list(n);
+    Rng rng_csr(n);
+    const Graph a = gen::gnp_avg_degree(n, 8.0, rng_list);
+    const Graph b = gen::gnp_avg_degree_csr(n, 8.0, rng_csr);
+    ASSERT_EQ(a.num_vertices(), b.num_vertices());
+    EXPECT_EQ(a.num_edges(), b.num_edges());
+    EXPECT_EQ(a.max_degree(), b.max_degree());
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(a.degree(v), b.degree(v)) << "n=" << n << " v=" << v;
+      const auto na = a.neighbors(v);
+      const auto nb = b.neighbors(v);
+      ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+          << "n=" << n << " v=" << v;
+    }
+    // Both generators must leave the caller's RNG in the same state.
+    EXPECT_EQ(rng_list.next(), rng_csr.next()) << "n=" << n;
+    EXPECT_TRUE(a.has_edge_list());
+    EXPECT_FALSE(b.has_edge_list());
+    EXPECT_THROW(b.edges(), std::logic_error);
+  }
+}
+
+TEST(BulkMemoryDiet, CsrGraphRunsIdenticallyToEdgeListGraph) {
+  Rng rng_list(3);
+  Rng rng_csr(3);
+  const Graph a = gen::gnp_avg_degree(1500, 8.0, rng_list);
+  const Graph b = gen::gnp_avg_degree_csr(1500, 8.0, rng_csr);
+  const auto run_a = run_bulk_mis(MisEngine::kSleeping, a, 3, nullptr);
+  const auto run_b = run_bulk_mis(MisEngine::kSleeping, b, 3, nullptr);
+  EXPECT_EQ(run_a.outputs, run_b.outputs);
+  ExpectMetricsEqual(run_a.metrics, run_b.metrics);
+  EXPECT_TRUE(analysis::check_mis(b, run_b.outputs).ok());
+}
+
+TEST(BulkMemoryDiet, FromCsrValidatesShape) {
+  // Malformed: offsets not covering adjacency.
+  EXPECT_THROW(Graph::from_csr(2, {0, 1, 1}, {1, 0}), std::invalid_argument);
+  // Self-loop.
+  EXPECT_THROW(Graph::from_csr(2, {0, 1, 2}, {0, 0}), std::invalid_argument);
+  // Asymmetric adjacency (1 lists 0, 0 does not list 1).
+  EXPECT_THROW(Graph::from_csr(3, {0, 1, 2, 2}, {2, 0}),
+               std::invalid_argument);
+  // Unsorted range.
+  EXPECT_THROW(Graph::from_csr(3, {0, 2, 3, 4}, {2, 1, 0, 0}),
+               std::invalid_argument);
+  // A valid path graph round-trips.
+  const Graph p = Graph::from_csr(3, {0, 1, 3, 4}, {1, 0, 2, 1});
+  EXPECT_EQ(p.num_edges(), 2u);
+  EXPECT_EQ(p.degree(1), 2u);
+  EXPECT_FALSE(p.has_edge_list());
+}
+
+}  // namespace
+}  // namespace slumber

@@ -1,0 +1,45 @@
+// Shared bitwise sim::Metrics comparison for the engine-equivalence and
+// thread-determinism suites (bulk_engine_test, bulk_parallel_test): the
+// per-field EXPECTs pinpoint the first diverging node/field for
+// diagnosis, and the defaulted operator== backstop guarantees a future
+// Metrics field can never silently fall out of the gates.
+#pragma once
+
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+
+namespace slumber {
+
+inline void ExpectMetricsEqual(const sim::Metrics& a, const sim::Metrics& b) {
+  ASSERT_EQ(a.node.size(), b.node.size());
+  for (std::size_t v = 0; v < a.node.size(); ++v) {
+    const sim::NodeMetrics& x = a.node[v];
+    const sim::NodeMetrics& y = b.node[v];
+    if (!(x == y)) {
+      EXPECT_EQ(x.awake_rounds, y.awake_rounds) << "node " << v;
+      EXPECT_EQ(x.finish_round, y.finish_round) << "node " << v;
+      EXPECT_EQ(x.decided_round, y.decided_round) << "node " << v;
+      EXPECT_EQ(x.awake_at_decision, y.awake_at_decision) << "node " << v;
+      EXPECT_EQ(x.messages_sent, y.messages_sent) << "node " << v;
+      EXPECT_EQ(x.messages_received, y.messages_received) << "node " << v;
+      EXPECT_EQ(x.crashed, y.crashed) << "node " << v;
+      FAIL() << "per-node metrics diverge first at node " << v;
+    }
+  }
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.dropped_messages, b.dropped_messages);
+  EXPECT_EQ(a.injected_losses, b.injected_losses);
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes);
+  EXPECT_EQ(a.total_awake_node_rounds, b.total_awake_node_rounds);
+  EXPECT_EQ(a.distinct_active_rounds, b.distinct_active_rounds);
+  EXPECT_EQ(a.congest_violations, b.congest_violations);
+  EXPECT_EQ(a.max_message_bits_seen, b.max_message_bits_seen);
+  // Field-complete backstop (defaulted operator==).
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace slumber

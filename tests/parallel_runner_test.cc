@@ -5,9 +5,12 @@
 // depend on the machine they ran on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "analysis/experiment.h"
@@ -177,6 +180,124 @@ TEST(ThreadPoolTest, PropagatesFirstException) {
   std::atomic<int> count{0};
   pool.parallel_for_index(50, [&](std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, EmptyBatchIsANoOp) {
+  util::ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  // Must return immediately without touching the condition variables or
+  // invoking fn; a missed-wakeup bug here would hang the test.
+  pool.parallel_for_index(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  // The pool stays usable afterwards.
+  pool.parallel_for_index(10, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPoolTest, SingleItemRunsInlineOnTheCaller) {
+  util::ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  int calls = 0;  // no atomic needed: the call must happen on the caller
+  pool.parallel_for_index(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ran_on = std::this_thread::get_id();
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(ran_on, caller);
+  // Exceptions from the inline path propagate directly.
+  EXPECT_THROW(pool.parallel_for_index(
+                   1, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedCallOnSamePoolRunsSeriallyInsteadOfDeadlocking) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> inner_hits(64);
+  std::atomic<int> outer_hits{0};
+  // Before the reentrancy guard this deadlocked silently: the nested
+  // call waited on lanes that were all busy with the outer batch.
+  pool.parallel_for_index(8, [&](std::size_t) {
+    outer_hits.fetch_add(1, std::memory_order_relaxed);
+    const std::thread::id me = std::this_thread::get_id();
+    pool.parallel_for_index(inner_hits.size(), [&](std::size_t i) {
+      // The nested batch runs inline on the nesting thread.
+      EXPECT_EQ(std::this_thread::get_id(), me);
+      inner_hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(outer_hits.load(), 8);
+  for (std::size_t i = 0; i < inner_hits.size(); ++i) {
+    EXPECT_EQ(inner_hits[i].load(), 8) << i;
+  }
+  // A nested call on a *different* pool still dispatches normally. One
+  // outer item drives it: a pool runs one batch at a time, so only a
+  // single thread may submit to `other`.
+  util::ThreadPool other(2);
+  std::atomic<int> cross{0};
+  pool.parallel_for_index(4, [&](std::size_t item) {
+    if (item == 0) {
+      other.parallel_for_index(10, [&](std::size_t) {
+        cross.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(cross.load(), 10);
+}
+
+TEST(ParallelForRangeTest, ChunksPartitionContiguouslyInOrder) {
+  for (const unsigned threads : {1u, 3u, 8u}) {
+    util::ThreadPool pool(threads);
+    for (const std::size_t total : {0u, 1u, 2u, 7u, 8u, 100u, 257u}) {
+      const std::size_t chunks = pool.num_chunks(total);
+      EXPECT_EQ(chunks, std::min<std::size_t>(threads, total));
+      std::vector<std::pair<std::size_t, std::size_t>> bounds(chunks);
+      std::vector<std::atomic<int>> covered(total);
+      pool.parallel_for_range(
+          total, [&](std::size_t c, std::size_t begin, std::size_t end) {
+            bounds[c] = {begin, end};
+            for (std::size_t i = begin; i < end; ++i) {
+              covered[i].fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+      // Chunk c+1 starts where chunk c ends, chunk sizes differ by at
+      // most one, and every index is covered exactly once.
+      std::size_t expect_begin = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        EXPECT_EQ(bounds[c].first, expect_begin)
+            << "threads=" << threads << " total=" << total << " chunk=" << c;
+        EXPECT_GE(bounds[c].second, bounds[c].first);
+        const std::size_t size = bounds[c].second - bounds[c].first;
+        EXPECT_GE(size, total / chunks);
+        EXPECT_LE(size, total / chunks + 1);
+        expect_begin = bounds[c].second;
+      }
+      EXPECT_EQ(expect_begin, total);
+      for (std::size_t i = 0; i < total; ++i) {
+        EXPECT_EQ(covered[i].load(), 1) << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForRangeTest, PerChunkPartialsReduceDeterministically) {
+  // The bulk engine's accumulator pattern: per-chunk partials merged in
+  // chunk index order must equal the serial sum for any pool size.
+  const std::size_t total = 1000;
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < total; ++i) expected += i * i;
+  for (const unsigned threads : {1u, 2u, 5u, 16u}) {
+    util::ThreadPool pool(threads);
+    std::vector<std::uint64_t> partial(pool.num_chunks(total), 0);
+    pool.parallel_for_range(
+        total, [&](std::size_t c, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) partial[c] += i * i;
+        });
+    std::uint64_t sum = 0;
+    for (const std::uint64_t p : partial) sum += p;
+    EXPECT_EQ(sum, expected) << threads << " threads";
+  }
 }
 
 TEST(DefaultTrialThreadsTest, OverrideWins) {

@@ -14,7 +14,9 @@
 # bench_bulk_scaling is the heavyweight entry (~45 s: it climbs to an
 # n = 10M bulk SleepingMIS trial and self-checks engine equivalence);
 # it is run like every other bench so the large-n regime stays on the
-# committed perf trajectory.
+# committed perf trajectory. bench_bulk_parallel (~20 s) is the
+# intra-trial parallel gate: an n = 2M trial at several lane counts,
+# each compared bitwise against the serial reference.
 set -u -o pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)

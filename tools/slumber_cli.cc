@@ -1,9 +1,11 @@
 // slumber -- command-line front end to the library.
 //
 // A global `--threads N` flag (anywhere on the command line) sets the
-// parallel trial runner's lane count for the multi-seed commands
-// (sweep); the default is all hardware threads. Results are bitwise
-// identical for every N.
+// parallelism lane count; the default is all hardware threads. With
+// the coroutine back end the lanes shard independent trials of the
+// multi-seed commands (sweep); with `--engine bulk` they additionally
+// shard the per-round node scans *inside* single-trial commands (run,
+// beep). Results are bitwise identical for every N in both modes.
 //
 // A global `--engine <coroutine|bulk>` flag selects the execution back
 // end for run / sweep / beep: the coroutine scheduler (default; every
@@ -36,9 +38,11 @@
 //       Beeping-model MIS (1-bit messages, everyone awake).
 //   slumber leader <family> <n> [seed]
 //       Flood-max leader election with decision-instant accounting.
-#include <cstdlib>
+#include <cstdint>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "algos/beeping_mis.h"
@@ -62,6 +66,8 @@
 #include "graph/properties.h"
 #include "sim/network.h"
 #include "sim/trace.h"
+#include "util/parse.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -69,6 +75,20 @@ using namespace slumber;
 
 // Execution back end selected by the global --engine flag.
 analysis::ExecEngine g_exec = analysis::ExecEngine::kCoroutine;
+
+using util::parse_uint;  // full-token std::from_chars validation
+
+/// parse_uint narrowed to a vertex count.
+bool parse_vertex_count(std::string_view token, const char* what,
+                        VertexId* out) {
+  std::uint64_t value = 0;
+  if (!parse_uint(token, what, &value, 0,
+                  std::numeric_limits<VertexId>::max())) {
+    return false;
+  }
+  *out = static_cast<VertexId>(value);
+  return true;
+}
 
 int usage() {
   std::cerr <<
@@ -135,9 +155,17 @@ int cmd_run(const analysis::MisEngine engine, const gen::Family family,
   std::cout << "graph: " << g.summary() << " (" << gen::family_name(family)
             << ", arboricity in [" << bounds.lower << ", " << bounds.upper
             << "])\n";
-  const auto run = analysis::run_mis(engine, g, seed, nullptr, g_exec);
+  // --engine bulk shards this single trial's node scans over --threads
+  // lanes (default: all hardware threads); bitwise identical for any N.
+  util::ThreadPool pool(g_exec == analysis::ExecEngine::kBulk
+                            ? analysis::default_trial_threads()
+                            : 1);
+  const auto run = analysis::run_mis(engine, g, seed, nullptr, g_exec, &pool);
   std::cout << "engine: " << analysis::engine_name(engine) << " ("
-            << analysis::exec_engine_name(g_exec) << " execution)\n"
+            << analysis::exec_engine_name(g_exec) << " execution, "
+            << pool.num_threads() << (pool.num_threads() == 1
+                                          ? " lane)\n"
+                                          : " lanes)\n")
             << "verify: " << analysis::check_mis(g, run.outputs).describe()
             << "\n"
             << "MIS size: " << run.mis_size << "\n\n";
@@ -290,8 +318,10 @@ int cmd_beep(const gen::Family family, const VertexId n,
   sim::Metrics metrics;
   std::vector<std::int64_t> outputs;
   if (g_exec == analysis::ExecEngine::kBulk) {
+    util::ThreadPool pool(analysis::default_trial_threads());
     bulk::BulkOptions options;
     options.max_message_bits = 1;
+    options.pool = &pool;
     bulk::BulkBeepingMis protocol;
     auto result = bulk::run_bulk(g, seed, protocol, options);
     metrics = std::move(result.metrics);
@@ -348,8 +378,11 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     if (std::string(argv[i]) == "--threads") {
       if (i + 1 >= argc) return usage();
-      const int threads = std::atoi(argv[++i]);
-      if (threads <= 0) return usage();
+      std::uint64_t threads = 0;
+      if (!parse_uint(argv[++i], "--threads", &threads, 1,
+                      std::numeric_limits<unsigned>::max())) {
+        return 2;
+      }
       analysis::set_default_trial_threads(static_cast<unsigned>(threads));
       continue;
     }
@@ -370,23 +403,33 @@ int main(int argc, char** argv) {
   if (command == "engines") return cmd_engines();
   if (command == "tree") {
     if (argc < 3) return usage();
-    return cmd_tree(static_cast<std::uint32_t>(std::atoi(argv[2])));
+    std::uint64_t levels = 0;
+    if (!parse_uint(argv[2], "tree <levels>", &levels, 0, 62)) return 2;
+    return cmd_tree(static_cast<std::uint32_t>(levels));
   }
   if (command == "graph") {
     if (argc < 5) return usage();
     gen::Family family;
     if (!parse_family(argv[2], &family)) return usage();
-    return cmd_graph(family, static_cast<VertexId>(std::atoi(argv[3])),
-                     static_cast<std::uint64_t>(std::atoll(argv[4])),
+    VertexId n = 0;
+    std::uint64_t seed = 0;
+    if (!parse_vertex_count(argv[3], "graph <n>", &n) ||
+        !parse_uint(argv[4], "graph <seed>", &seed)) {
+      return 2;
+    }
+    return cmd_graph(family, n, seed,
                      argc > 5 && std::string(argv[5]) == "dot");
   }
   if (command == "edge-color" || command == "beep" || command == "leader") {
     if (argc < 4) return usage();
     gen::Family family;
     if (!parse_family(argv[2], &family)) return usage();
-    const auto n = static_cast<VertexId>(std::atoi(argv[3]));
-    const std::uint64_t seed =
-        argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+    VertexId n = 0;
+    std::uint64_t seed = 1;
+    if (!parse_vertex_count(argv[3], "<n>", &n) ||
+        (argc > 4 && !parse_uint(argv[4], "<seed>", &seed))) {
+      return 2;
+    }
     if (command == "edge-color") return cmd_edge_color(family, n, seed);
     if (command == "beep") return cmd_beep(family, n, seed);
     return cmd_leader(family, n, seed);
@@ -399,9 +442,24 @@ int main(int argc, char** argv) {
       !parse_family(argv[3], &family)) {
     return usage();
   }
-  const auto n = static_cast<VertexId>(std::atoi(argv[4]));
-  const std::uint64_t arg5 =
-      argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5])) : 1;
+  VertexId n = 0;
+  std::uint64_t arg5 = 1;
+  // arg5 is a 64-bit seed for run/trace/matching but a 32-bit count for
+  // sweep (seeds) and ruling-set (k) — bound it per command so the
+  // later narrowing cast can never truncate silently.
+  const bool narrow_arg5 = command == "ruling-set" || command == "sweep";
+  if (!parse_vertex_count(argv[4], "<n>", &n) ||
+      (argc > 5 &&
+       !parse_uint(argv[5],
+                   command == "ruling-set" ? "<k>"
+                   : command == "sweep"    ? "<seeds>"
+                                           : "<seed>",
+                   &arg5, 0,
+                   narrow_arg5
+                       ? std::numeric_limits<std::uint32_t>::max()
+                       : std::numeric_limits<std::uint64_t>::max()))) {
+    return 2;
+  }
   if (command == "run") return cmd_run(engine, family, n, arg5);
   if (command == "sweep") {
     return cmd_sweep(engine, family, n, static_cast<std::uint32_t>(arg5 > 1 ? arg5 : 3));
@@ -409,8 +467,8 @@ int main(int argc, char** argv) {
   if (command == "trace") return cmd_trace(engine, family, n, arg5);
   if (command == "matching") return cmd_matching(engine, family, n, arg5);
   if (command == "ruling-set") {
-    const std::uint64_t seed =
-        argc > 6 ? static_cast<std::uint64_t>(std::atoll(argv[6])) : 1;
+    std::uint64_t seed = 1;
+    if (argc > 6 && !parse_uint(argv[6], "<seed>", &seed)) return 2;
     return cmd_ruling_set(engine, family, n,
                           static_cast<std::uint32_t>(arg5), seed);
   }
