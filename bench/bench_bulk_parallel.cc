@@ -1,12 +1,22 @@
 // Intra-trial parallel bulk scaling: one n = 2M (default) SleepingMIS
-// bulk trial on G(n, 8/n), executed serially and then with the
-// per-frame node scans sharded over 2, 4, and hardware_threads() lanes.
-// Every sharded run is compared bitwise against the serial reference —
-// outputs, aggregate AND per-node sim::Metrics, and the exact 128-bit
-// virtual makespan — so this bench doubles as the determinism gate for
-// the parallel bulk path on the committed perf trajectory
-// (BENCH_baseline.json). The printed speedups are only meaningful on
-// multi-core machines; the bitwise check is meaningful everywhere.
+// workload on G(n, 8/n), with BOTH phases lane-swept and bitwise-gated:
+//
+//  * Build phase: the graph is generated with the sharded counter-based
+//    schedule (gen::gnp_avg_degree_sharded_csr) serially and then at 2,
+//    4, and hardware_threads() lanes; every parallel build must
+//    reproduce the serial CSR bit for bit (Graph::same_csr). The
+//    printed speedups are the committed evidence that generation — the
+//    dominant serial phase left after PR 4 — now scales with cores.
+//  * Run phase: the serial bulk trial is the reference; every sharded
+//    run is compared bitwise — outputs, aggregate AND per-node
+//    sim::Metrics, and the exact 128-bit virtual makespan.
+//
+// This bench doubles as the determinism gate for the parallel bulk
+// path on the committed perf trajectory (BENCH_baseline.json). The
+// printed speedups are only meaningful on multi-core machines; the
+// bitwise checks are meaningful everywhere. The final line
+// `BENCH-SPLIT build_ms=<b> run_ms=<r>` reports the serial reference
+// times for tools/run_bench.sh.
 //
 //   bench_bulk_parallel [n] [seed]    (default: 2,000,000 / 1)
 #include <algorithm>
@@ -63,16 +73,48 @@ int main(int argc, char** argv) {
       "intra-trial parallel bulk / SleepingMIS on G(n, 8/n), n = " +
       std::to_string(n) + " (" +
       std::to_string(util::ThreadPool::hardware_threads()) +
-      " hardware threads)");
+      " hardware threads, sharded generator)");
 
-  Rng rng(seed);
-  const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
+  std::vector<unsigned> lane_counts = {2, 4};
+  const unsigned hw = util::ThreadPool::hardware_threads();
+  if (hw > 4) lane_counts.push_back(hw);
+
+  // --- build phase: sharded generation across lane counts -----------
+  auto t0 = std::chrono::steady_clock::now();
+  const Graph g = gen::gnp_avg_degree_sharded_csr(n, 8.0, seed);
+  const double serial_build_ms = ms_since(t0);
   std::cout << "graph: " << g.summary() << "\n";
 
+  analysis::Table build_table({"lanes", "build ms", "speedup", "bitwise"});
+  build_table.add_row({"1", analysis::Table::num(serial_build_ms, 0), "1.0x",
+                       "reference"});
+  bool all_bitwise = true;
+
+  for (const unsigned lanes : lane_counts) {
+    util::ThreadPool pool(lanes);
+    gen::ShardedGnpOptions gen_options;
+    gen_options.pool = &pool;
+    t0 = std::chrono::steady_clock::now();
+    const Graph sharded_g =
+        gen::gnp_avg_degree_sharded_csr(n, 8.0, seed, gen_options);
+    const double build_ms = ms_since(t0);
+    const bool bitwise = g.same_csr(sharded_g);
+    all_bitwise = all_bitwise && bitwise;
+    build_table.add_row(
+        {analysis::Table::num(std::uint64_t{lanes}),
+         analysis::Table::num(build_ms, 0),
+         analysis::Table::num(serial_build_ms / std::max(build_ms, 1e-3), 2) +
+             "x",
+         bitwise ? "ok" : "MISMATCH"});
+  }
+  std::cout << "\nbuild phase (counter-based per-block schedule):\n"
+            << build_table.render();
+
+  // --- run phase: sharded node scans across lane counts -------------
   bulk::BulkOptions options;
   options.max_message_bits = sim::congest_bits_for(g.num_vertices());
 
-  auto t0 = std::chrono::steady_clock::now();
+  t0 = std::chrono::steady_clock::now();
   const bulk::BulkResult serial =
       bulk::bulk_sleeping_mis(g, seed, {}, nullptr, options);
   const double serial_ms = ms_since(t0);
@@ -81,19 +123,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<unsigned> lane_counts = {2, 4};
-  const unsigned hw = util::ThreadPool::hardware_threads();
-  if (hw > 4) lane_counts.push_back(hw);
-
   analysis::Table table({"lanes", "run ms", "speedup", "bitwise"});
   table.add_row({"1", analysis::Table::num(serial_ms, 0), "1.0x",
                  "reference"});
-  bool all_bitwise = true;
 
   for (const unsigned lanes : lane_counts) {
     util::ThreadPool pool(lanes);
     bulk::BulkOptions parallel_options = options;
     parallel_options.pool = &pool;
+    parallel_options.first_touch = true;
     t0 = std::chrono::steady_clock::now();
     const bulk::BulkResult run =
         bulk::bulk_sleeping_mis(g, seed, {}, nullptr, parallel_options);
@@ -110,10 +148,13 @@ int main(int argc, char** argv) {
                    bitwise ? "ok" : "MISMATCH"});
   }
 
-  std::cout << table.render();
-  std::cout << "\nevery lane count must reproduce the serial trial bit for "
-               "bit (outputs, per-node + aggregate metrics, 128-bit virtual "
-               "makespan).\n";
+  std::cout << "\nrun phase:\n" << table.render();
+  std::cout << "\nevery lane count must reproduce the serial build CSR for "
+               "CSR and the serial trial bit for bit (outputs, per-node + "
+               "aggregate metrics, 128-bit virtual makespan).\n";
+  std::cout << "BENCH-SPLIT build_ms="
+            << static_cast<long long>(serial_build_ms)
+            << " run_ms=" << static_cast<long long>(serial_ms) << "\n";
   if (!all_bitwise) {
     std::cerr << "BITWISE MISMATCH across lane counts\n";
     return 1;

@@ -15,17 +15,32 @@
 // (intra-trial parallelism); at n <= 1M every parallel trial is
 // re-executed serially and compared bitwise — outputs, aggregate AND
 // per-node metrics — which is the cross-check the bulk-large-n CI job
-// drives with `bench_bulk_scaling 1000000 1 2`.
+// drives with `bench_bulk_scaling 1000000 1 2 --gen sharded`.
+//
+// `--gen sharded` switches graph generation to the counter-based
+// per-block schedule (gen::gnp_avg_degree_sharded_csr): the CSR build
+// itself shards over the `threads` lanes, and at n <= 1M a sharded
+// build is re-run serially and compared bitwise CSR-for-CSR (the
+// generator-level determinism gate). Sharded graphs are memory-diet
+// (no edge list) regardless of `--mem-diet`.
 //
 // `--mem-diet` switches to the 10^8-node memory envelope: the graph is
-// streamed straight into CSR with no edge list (gen::gnp_avg_degree_csr)
-// and per-node sim::Metrics are disabled (aggregate counters, outputs,
-// and the MIS validity check remain exact). Example:
+// streamed straight into CSR with no edge list and per-node
+// sim::Metrics are disabled (aggregate counters, outputs, and the MIS
+// validity check remain exact). `--first-touch` additionally
+// initializes the CSR and the engine's hot per-node arrays from the
+// lanes that will scan them (NUMA page placement; bitwise no-op).
+// The 10^8 recipe:
 //
-//   bench_bulk_scaling 100000000 1 8 --mem-diet
+//   bench_bulk_scaling 100000000 1 8 --mem-diet --gen sharded --first-touch
+//
+// The final line `BENCH-SPLIT build_ms=<b> run_ms=<r>` totals the two
+// phases for tools/run_bench.sh, which records the split in the
+// BENCH_*.json baselines.
 //
 //   bench_bulk_scaling [max_n] [seeds] [threads] [--mem-diet]
-//       (default: 10,000,000 / 1 / 1)
+//       [--gen legacy|sharded] [--first-touch]
+//       (default: 10,000,000 / 1 / 1 / legacy)
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -57,8 +72,8 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 // inside a bench (memory: ~K suspended frames per node).
 constexpr VertexId kCoroutineLimit = 65536;
 
-// Largest n at which a parallel trial is re-run serially for the
-// bitwise thread cross-check.
+// Largest n at which a parallel trial (and a parallel sharded build)
+// is re-run serially for the bitwise thread cross-check.
 constexpr VertexId kThreadCheckLimit = 1'000'000;
 
 /// util::parse_uint that exits instead of returning false (bench args
@@ -74,12 +89,27 @@ std::uint64_t parse_uint_or_die(const std::string& token, const char* what,
 
 int main(int argc, char** argv) {
   bool mem_diet = false;
+  bool first_touch = false;
+  gen::Schedule schedule = gen::Schedule::kLegacy;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--mem-diet") {
+    const std::string arg = argv[i];
+    if (arg == "--mem-diet") {
       mem_diet = true;
+    } else if (arg == "--first-touch") {
+      first_touch = true;
+    } else if (arg == "--gen") {
+      if (i + 1 >= argc ||
+          !gen::schedule_from_name(argv[++i], &schedule)) {
+        std::cerr << "error: --gen needs one of:";
+        for (const gen::Schedule s : gen::all_schedules()) {
+          std::cerr << ' ' << gen::schedule_name(s);
+        }
+        std::cerr << '\n';
+        return 2;
+      }
     } else {
-      args.emplace_back(argv[i]);
+      args.push_back(arg);
     }
   }
   const VertexId max_n =
@@ -99,10 +129,13 @@ int main(int argc, char** argv) {
 
   std::cout << analysis::banner(
       "bulk engine scaling / SleepingMIS on G(n, 8/n), up to n = " +
-      std::to_string(max_n) + ", " + std::to_string(threads) + " lane(s)" +
-      (mem_diet ? ", memory diet" : ""));
+      std::to_string(max_n) + ", " + std::to_string(threads) + " lane(s), " +
+      gen::schedule_name(schedule) + " generator" +
+      (mem_diet ? ", memory diet" : "") +
+      (first_touch ? ", first touch" : ""));
 
   util::ThreadPool pool(threads == 0 ? 1 : threads);
+  const bool sharded = schedule == gen::Schedule::kSharded;
 
   std::vector<VertexId> sizes;
   for (std::uint64_t n = 65536; n < max_n; n *= 8) {
@@ -114,27 +147,54 @@ int main(int argc, char** argv) {
                          "worst awake", "Mawake-rounds/s", "virtual rounds",
                          "speedup vs coroutine"});
   bool all_valid = true;
+  double total_build_ms = 0.0;
+  double total_run_ms = 0.0;
 
   for (const VertexId n : sizes) {
     for (std::uint32_t s = 0; s < seeds; ++s) {
       const std::uint64_t seed = analysis::trial_seed(19 * n, s);
       auto t0 = std::chrono::steady_clock::now();
-      Rng rng(seed);
-      // The diet path streams the identical edge set into CSR with no
-      // edge-list stage and leaves the RNG in the same state.
-      const Graph g = mem_diet ? gen::gnp_avg_degree_csr(n, 8.0, rng)
-                               : gen::gnp_avg_degree(n, 8.0, rng);
+      Graph g;
+      if (sharded) {
+        // The sharded schedule's CSR build itself splits over the
+        // lanes; output is bitwise identical at every lane count.
+        gen::ShardedGnpOptions gen_options;
+        gen_options.pool = pool.num_threads() > 1 ? &pool : nullptr;
+        gen_options.first_touch = first_touch;
+        g = gen::gnp_avg_degree_sharded_csr(n, 8.0, seed, gen_options);
+      } else {
+        Rng rng(seed);
+        // The diet path streams the identical edge set into CSR with
+        // no edge-list stage and leaves the RNG in the same state.
+        g = mem_diet ? gen::gnp_avg_degree_csr(n, 8.0, rng)
+                     : gen::gnp_avg_degree(n, 8.0, rng);
+      }
       const double build_ms = ms_since(t0);
+      total_build_ms += build_ms;
+
+      // Generator-level determinism gate: a parallel sharded build
+      // must reproduce the serial sharded build CSR for CSR.
+      if (sharded && pool.num_threads() > 1 && n <= kThreadCheckLimit) {
+        const Graph serial_g = gen::gnp_avg_degree_sharded_csr(n, 8.0, seed);
+        if (!g.same_csr(serial_g)) {
+          std::cerr << "GENERATOR LANE-COUNT MISMATCH at n=" << n
+                    << " seed=" << seed << " (" << pool.num_threads()
+                    << " lanes vs serial)\n";
+          return 1;
+        }
+      }
 
       bulk::BulkOptions options;
       options.max_message_bits = sim::congest_bits_for(g.num_vertices());
       options.pool = pool.num_threads() > 1 ? &pool : nullptr;
       options.node_metrics = !mem_diet;
+      options.first_touch = first_touch;
 
       t0 = std::chrono::steady_clock::now();
       const bulk::BulkResult bulk_run =
           bulk::bulk_sleeping_mis(g, seed, {}, nullptr, options);
       const double run_ms = ms_since(t0);
+      total_run_ms += run_ms;
 
       const bool valid = analysis::check_mis(g, bulk_run.outputs).ok();
       all_valid = all_valid && valid;
@@ -203,5 +263,7 @@ int main(int argc, char** argv) {
   std::cout << table.render();
   std::cout << "\nnode-averaged awake stays O(1) while the virtual schedule "
                "grows ~n^3; the bulk engine's cost tracks awake work only.\n";
+  std::cout << "BENCH-SPLIT build_ms=" << static_cast<long long>(total_build_ms)
+            << " run_ms=" << static_cast<long long>(total_run_ms) << "\n";
   return all_valid ? 0 : 1;
 }

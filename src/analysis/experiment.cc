@@ -176,4 +176,12 @@ MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
   return finish_run(engine, g, seed, std::move(metrics), std::move(outputs));
 }
 
+std::function<Graph(std::uint64_t)> graph_factory(gen::Family family,
+                                                  VertexId n,
+                                                  gen::MakeOptions options) {
+  return [family, n, options](std::uint64_t seed) {
+    return gen::make(family, n, seed, options);
+  };
+}
+
 }  // namespace slumber::analysis

@@ -5,11 +5,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "algos/matching.h"  // MisEngine
 #include "core/instrumentation.h"
+#include "graph/generators.h"
 #include "graph/graph.h"
 #include "sim/metrics.h"
 #include "util/rng.h"
@@ -126,6 +128,16 @@ AggregateRun aggregate_mis(MisEngine engine, const GraphFactory& make_graph,
                            std::uint64_t base_seed, std::uint32_t num_seeds,
                            unsigned num_threads = 0,
                            ExecEngine exec = ExecEngine::kCoroutine);
+
+/// The factory the sweep-style runners hand to run_trials /
+/// aggregate_mis: trial seed -> gen::make(family, n, seed, options).
+/// This is where a generation schedule (gen::Schedule::kSharded, first
+/// touch) plugs into the experiment layer; `options` is captured by
+/// value and any pool it names must outlive the factory. Trials run
+/// concurrently under the parallel runner, so prefer a null pool there
+/// (a nested same-pool build would just run inline anyway).
+std::function<Graph(std::uint64_t)> graph_factory(
+    gen::Family family, VertexId n, gen::MakeOptions options = {});
 
 }  // namespace slumber::analysis
 

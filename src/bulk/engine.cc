@@ -11,8 +11,16 @@ BulkEngine::BulkEngine(const Graph& g, std::uint64_t seed, BulkOptions options)
   const VertexId n = g.num_vertices();
   if (options_.node_metrics) metrics_.node.resize(n);
   outputs_.assign(n, -1);
-  decided_.assign(n, 0);
-  awake_epoch_.assign(n, 0);
+  // With first_touch, each lane initializes (and so places) the slice
+  // of the hot per-node arrays that parallel_for_range will hand it on
+  // every subsequent sharded scan. Contents are identical either way.
+  util::ThreadPool* touch_pool =
+      options_.first_touch && options_.pool != nullptr &&
+              options_.pool->num_threads() > 1
+          ? options_.pool
+          : nullptr;
+  decided_ = util::sharded_fill<std::uint8_t>(n, 0, touch_pool);
+  awake_epoch_ = util::sharded_fill<std::uint32_t>(n, 0, touch_pool);
 }
 
 void BulkEngine::merge_chunk(const BulkChunk& chunk) {

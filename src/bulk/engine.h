@@ -78,6 +78,13 @@ struct BulkOptions {
   /// Metrics::makespan is then taken from the saturated virtual
   /// makespan instead of max finish_round.
   bool node_metrics = true;
+  /// First-touch page placement: initialize the engine's hot per-node
+  /// arrays (awake stamps, decision flags) in the pool's
+  /// parallel_for_range chunk layout, so each page lands near the lane
+  /// that scans that slice of every per-node array (matters past ~16
+  /// cores on NUMA machines). Placement only — contents and results
+  /// are bitwise unaffected. No effect without a pool.
+  bool first_touch = false;
 };
 
 struct BulkResult {
@@ -243,11 +250,17 @@ class BulkEngine {
   std::uint64_t seed_;
   Rng master_;
   sim::Metrics metrics_;
+  // outputs_ stays std::vector: take_result() moves it into
+  // BulkResult::outputs, and it is write-once rather than scanned
+  // every round.
   std::vector<std::int64_t> outputs_;
-  std::vector<std::uint8_t> decided_;
+  // The per-round hot arrays are PodVector + util::sharded_fill so
+  // BulkOptions::first_touch can place each lane's slice on its own
+  // pages.
+  util::PodVector<std::uint8_t> decided_;
   // 32-bit epoch stamps keep the array at 4 bytes/node for the 10^8
   // regime; mark_awake resets the array on the (theoretical) wrap.
-  std::vector<std::uint32_t> awake_epoch_;
+  util::PodVector<std::uint32_t> awake_epoch_;
   std::uint32_t epoch_ = 0;
   VirtualRound virtual_makespan_ = 0;
 };

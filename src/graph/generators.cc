@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "graph/gnp_detail.h"
+
 namespace slumber::gen {
 
 Graph empty(VertexId n) { return Graph(n, {}); }
@@ -158,42 +160,33 @@ Graph clique_chain(VertexId n, VertexId clique_size) {
 
 namespace {
 
-/// Shared Batagelj-Brandes geometric-skipping core of gnp / gnp_csr:
-/// streams every G(n, p) edge (u, v) with u < v, v-major with both
-/// coordinates ascending, to `fn`. O(n + m) expected; requires
-/// 0 < p < 1 and n >= 2. Both gnp entry points drive this with the same
-/// RNG draws, so they realize the identical edge set.
+/// The legacy single-stream schedule: one draw sequence across the
+/// whole vertex triangle. Both gnp entry points drive this with the
+/// same RNG draws, so they realize the identical edge set.
 template <typename Fn>
 void for_each_gnp_edge(VertexId n, double p, Rng& rng, Fn&& fn) {
-  const double log1mp = std::log1p(-p);
-  std::int64_t v = 1;
-  std::int64_t w = -1;
-  const auto nn = static_cast<std::int64_t>(n);
-  while (v < nn) {
-    const double r = rng.uniform();
-    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp));
-    while (w >= v && v < nn) {
-      w -= v;
-      ++v;
-    }
-    if (v < nn) fn(static_cast<VertexId>(w), static_cast<VertexId>(v));
-  }
+  detail::for_each_gnp_edge_rows(0, n, p, rng, std::forward<Fn>(fn));
 }
 
 }  // namespace
+
+double gnp_probability_for_avg_degree(VertexId n, double avg_deg) {
+  return std::min(1.0, avg_deg / static_cast<double>(n - 1));
+}
+
+std::size_t gnp_reserve_hint(VertexId n, double p) {
+  const double pairs = 0.5 * static_cast<double>(n) *
+                       static_cast<double>(n - 1);
+  const double mean = p * pairs;
+  return static_cast<std::size_t>(
+      mean + 4.0 * std::sqrt(mean * (1.0 - p)) + 16.0);
+}
 
 Graph gnp(VertexId n, double p, Rng& rng) {
   GraphBuilder builder(n);
   if (p <= 0.0 || n < 2) return std::move(builder).build();
   if (p >= 1.0) return complete(n);
-  // Reserve for the expected edge count plus 4 sigma of binomial slack,
-  // so the builder almost never reallocates (and never doubles peak
-  // memory at the 10M-node scale the bulk engine targets).
-  const double pairs = 0.5 * static_cast<double>(n) *
-                       static_cast<double>(n - 1);
-  const double mean = p * pairs;
-  builder.reserve(static_cast<std::size_t>(
-      mean + 4.0 * std::sqrt(mean * (1.0 - p)) + 16.0));
+  builder.reserve(gnp_reserve_hint(n, p));
   // Edges are staged through a fixed-size chunk and flushed via
   // add_edges, the streaming construction path.
   std::vector<Edge> chunk;
@@ -212,29 +205,17 @@ Graph gnp(VertexId n, double p, Rng& rng) {
 
 Graph gnp_avg_degree(VertexId n, double avg_deg, Rng& rng) {
   if (n < 2) return empty(n);
-  return gnp(n, std::min(1.0, avg_deg / static_cast<double>(n - 1)), rng);
+  return gnp(n, gnp_probability_for_avg_degree(n, avg_deg), rng);
 }
 
 Graph gnp_csr(VertexId n, double p, Rng& rng) {
-  std::vector<CsrOffset> offsets(std::uint64_t{n} + 1, 0);
   if (p <= 0.0 || n < 2) {
+    util::PodVector<CsrOffset> offsets(std::uint64_t{n} + 1, 0);
     return Graph::from_csr(n, std::move(offsets), {});
   }
-  if (p >= 1.0) {
-    // K_n straight into CSR.
-    checked_edge_count(std::uint64_t{n} * (n - 1) / 2, "gnp_csr");
-    std::vector<VertexId> adjacency;
-    adjacency.reserve(std::uint64_t{n} * (n - 1));
-    for (VertexId v = 0; v < n; ++v) {
-      offsets[std::uint64_t{v} + 1] =
-          offsets[v] + (std::uint64_t{n} - 1);
-      for (VertexId u = 0; u < n; ++u) {
-        if (u != v) adjacency.push_back(u);
-      }
-    }
-    return Graph::from_csr(n, std::move(offsets), std::move(adjacency));
-  }
+  if (p >= 1.0) return detail::complete_csr(n);
   // Pass 1 on a copy of the RNG: count degrees.
+  util::PodVector<CsrOffset> offsets(std::uint64_t{n} + 1, 0);
   std::uint64_t m = 0;
   {
     std::vector<std::uint32_t> deg(n, 0);
@@ -254,7 +235,8 @@ Graph gnp_csr(VertexId n, double p, Rng& rng) {
   // adjacency array. The stream is v-major with ascending coordinates,
   // so every vertex's range comes out sorted: u < x entries land while
   // the stream is at v == x, all v > x entries after, each ascending.
-  std::vector<VertexId> adjacency(offsets[n]);
+  util::PodVector<VertexId> adjacency;
+  adjacency.resize(offsets[n]);
   std::vector<CsrOffset> cursor(offsets.begin(), offsets.end() - 1);
   for_each_gnp_edge(n, p, rng, [&](VertexId u, VertexId v) {
     adjacency[cursor[u]++] = v;
@@ -265,7 +247,7 @@ Graph gnp_csr(VertexId n, double p, Rng& rng) {
 
 Graph gnp_avg_degree_csr(VertexId n, double avg_deg, Rng& rng) {
   if (n < 2) return gnp_csr(n, 0.0, rng);
-  return gnp_csr(n, std::min(1.0, avg_deg / static_cast<double>(n - 1)), rng);
+  return gnp_csr(n, gnp_probability_for_avg_degree(n, avg_deg), rng);
 }
 
 Graph random_tree(VertexId n, Rng& rng) {
@@ -449,6 +431,45 @@ std::string family_name(Family family) {
     case Family::kUnitDisk: return "unit_disk";
   }
   return "unknown";
+}
+
+std::vector<Schedule> all_schedules() {
+  return {Schedule::kLegacy, Schedule::kSharded};
+}
+
+std::string schedule_name(Schedule schedule) {
+  switch (schedule) {
+    case Schedule::kLegacy: return "legacy";
+    case Schedule::kSharded: return "sharded";
+  }
+  return "unknown";
+}
+
+bool schedule_from_name(const std::string& name, Schedule* out) {
+  for (const Schedule schedule : all_schedules()) {
+    if (schedule_name(schedule) == name) {
+      *out = schedule;
+      return true;
+    }
+  }
+  return false;
+}
+
+Graph make(Family family, VertexId n, std::uint64_t seed,
+           const MakeOptions& options) {
+  if (options.schedule == Schedule::kSharded) {
+    const ShardedGnpOptions sharded{options.pool, options.first_touch,
+                                    nullptr};
+    switch (family) {
+      case Family::kGnpSparse:
+        return gnp_avg_degree_sharded_csr(n, 8.0, seed, sharded);
+      case Family::kGnpDense:
+        return gnp_sharded_csr(n, 0.5, seed, sharded);
+      default:
+        break;  // every other family has a single schedule
+    }
+  }
+  return make(family, n, seed);
 }
 
 Graph make(Family family, VertexId n, std::uint64_t seed) {

@@ -73,8 +73,9 @@ const std::vector<Edge>& Graph::edges() const {
   return edges_;
 }
 
-Graph Graph::from_csr(VertexId n, std::vector<CsrOffset> offsets,
-                      std::vector<VertexId> adjacency) {
+Graph Graph::from_csr(VertexId n, util::PodVector<CsrOffset> offsets,
+                      util::PodVector<VertexId> adjacency,
+                      util::ThreadPool* pool) {
   if (offsets.size() != std::uint64_t{n} + 1 || offsets.front() != 0 ||
       offsets.back() != adjacency.size() || adjacency.size() % 2 != 0) {
     throw std::invalid_argument("Graph::from_csr: malformed CSR shape");
@@ -89,28 +90,52 @@ Graph Graph::from_csr(VertexId n, std::vector<CsrOffset> offsets,
   // Validate the caller's contract: monotone offsets, each range sorted
   // strictly ascending (no duplicates), in-range endpoints, no
   // self-loops, and symmetric membership ({u,v} in both ranges — checked
-  // cheaply via degree-balanced mirror lookups).
+  // cheaply via degree-balanced mirror lookups). The scan is per-vertex
+  // independent, so it shards over the pool with per-chunk partial
+  // mirror counts and degree maxima merged after the barrier.
+  auto validate_range = [&g, n](VertexId begin, VertexId end,
+                                std::uint64_t* mirrored,
+                                std::uint32_t* max_degree) {
+    for (VertexId v = begin; v < end; ++v) {
+      if (g.offsets_[v] > g.offsets_[v + 1]) {
+        throw std::invalid_argument("Graph::from_csr: offsets not monotone");
+      }
+      const auto nbrs = g.neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId u = nbrs[i];
+        if (u >= n) {
+          throw std::invalid_argument(
+              "Graph::from_csr: endpoint out of range");
+        }
+        if (u == v) {
+          throw std::invalid_argument("Graph::from_csr: self-loop");
+        }
+        if (i > 0 && nbrs[i - 1] >= u) {
+          throw std::invalid_argument(
+              "Graph::from_csr: adjacency range not sorted ascending");
+        }
+        if (u > v && g.port_to(u, v) >= 0) ++*mirrored;
+      }
+      *max_degree = std::max(*max_degree, g.degree(v));
+    }
+  };
   std::uint64_t mirrored = 0;
-  for (VertexId v = 0; v < n; ++v) {
-    if (g.offsets_[v] > g.offsets_[v + 1]) {
-      throw std::invalid_argument("Graph::from_csr: offsets not monotone");
+  if (pool != nullptr && pool->num_threads() > 1) {
+    const std::size_t chunks = pool->num_chunks(n);
+    std::vector<std::uint64_t> mirrored_parts(chunks, 0);
+    std::vector<std::uint32_t> degree_parts(chunks, 0);
+    pool->parallel_for_range(
+        n, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          validate_range(static_cast<VertexId>(begin),
+                         static_cast<VertexId>(end), &mirrored_parts[chunk],
+                         &degree_parts[chunk]);
+        });
+    for (std::size_t c = 0; c < chunks; ++c) {
+      mirrored += mirrored_parts[c];
+      g.max_degree_ = std::max(g.max_degree_, degree_parts[c]);
     }
-    const auto nbrs = g.neighbors(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const VertexId u = nbrs[i];
-      if (u >= n) {
-        throw std::invalid_argument("Graph::from_csr: endpoint out of range");
-      }
-      if (u == v) {
-        throw std::invalid_argument("Graph::from_csr: self-loop");
-      }
-      if (i > 0 && nbrs[i - 1] >= u) {
-        throw std::invalid_argument(
-            "Graph::from_csr: adjacency range not sorted ascending");
-      }
-      if (u > v && g.port_to(u, v) >= 0) ++mirrored;
-    }
-    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  } else {
+    validate_range(0, n, &mirrored, &g.max_degree_);
   }
   if (mirrored != g.num_edges_) {
     throw std::invalid_argument("Graph::from_csr: asymmetric adjacency");
@@ -171,7 +196,9 @@ Graph Graph::line_graph() const {
 }
 
 std::string Graph::summary() const {
-  return "n=" + std::to_string(n_) + " m=" + std::to_string(edges_.size()) +
+  // num_edges_, not edges_.size(): memory-diet graphs drop the edge
+  // list but still know their edge count.
+  return "n=" + std::to_string(n_) + " m=" + std::to_string(num_edges_) +
          " maxdeg=" + std::to_string(max_degree_);
 }
 

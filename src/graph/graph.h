@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/alloc.h"
+
 namespace slumber {
 
 /// Dense vertex identifier. 32 bits cover the bulk engine's 10M+-node
@@ -67,9 +69,16 @@ class Graph {
   /// both endpoint ranges (all validated, throws std::invalid_argument).
   /// This is the 10^8-node path: peak memory is the CSR arrays
   /// themselves, skipping the ~8 bytes/edge staging list of
-  /// GraphBuilder (see gen::gnp_csr).
-  static Graph from_csr(VertexId n, std::vector<CsrOffset> offsets,
-                        std::vector<VertexId> adjacency);
+  /// GraphBuilder (see gen::gnp_csr / gen::gnp_sharded_csr). The arrays
+  /// are util::PodVector so producers can size them without a serial
+  /// zero-fill and first-touch pages from the lanes that will scan them
+  /// (util::sharded_fill). `pool`, when non-null, shards the validation
+  /// scan over its lanes (borrowed; accepted graphs are identical for
+  /// every lane count — only which malformed-input error surfaces first
+  /// can vary).
+  static Graph from_csr(VertexId n, util::PodVector<CsrOffset> offsets,
+                        util::PodVector<VertexId> adjacency,
+                        util::ThreadPool* pool = nullptr);
 
   VertexId num_vertices() const { return n_; }
   std::size_t num_edges() const { return num_edges_; }
@@ -131,6 +140,16 @@ class Graph {
   /// matching to MIS (see src/algos/matching.h).
   Graph line_graph() const;
 
+  /// True iff this and `other` have bitwise-identical CSR arrays (same
+  /// vertex count, offsets, and adjacency) — equal topology with equal
+  /// port numbering, regardless of whether either retains an edge
+  /// list. The determinism gates of the sharded generators compare
+  /// lane-count variants with this.
+  bool same_csr(const Graph& other) const {
+    return n_ == other.n_ && offsets_ == other.offsets_ &&
+           adjacency_ == other.adjacency_;
+  }
+
   /// A human-readable one-line summary ("n=8 m=12 maxdeg=5").
   std::string summary() const;
 
@@ -139,10 +158,10 @@ class Graph {
   std::uint32_t max_degree_ = 0;
   std::uint64_t num_edges_ = 0;
   bool has_edge_list_ = true;
-  std::vector<CsrOffset> offsets_;     // size n_+1
-  std::vector<VertexId> adjacency_;    // size 2|E|
-  std::vector<Edge> edges_;            // sorted, normalized; empty when
-                                       // has_edge_list_ is false
+  util::PodVector<CsrOffset> offsets_;   // size n_+1
+  util::PodVector<VertexId> adjacency_;  // size 2|E|
+  std::vector<Edge> edges_;              // sorted, normalized; empty when
+                                         // has_edge_list_ is false
 };
 
 /// Narrows a 64-bit vertex count to VertexId, throwing std::overflow_error

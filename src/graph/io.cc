@@ -8,9 +8,26 @@
 
 namespace slumber::io {
 
+namespace {
+
+/// Streams every edge as (u, v) with u < v in sorted (u, v) order —
+/// identical to iterating Graph::edges(), but off the CSR arrays, so
+/// the writers also accept memory-diet graphs (has_edge_list() false).
+template <typename Fn>
+void for_each_edge_sorted(const Graph& g, Fn&& fn) {
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (v > u) fn(u, v);
+    }
+  }
+}
+
+}  // namespace
+
 void write_edge_list(std::ostream& out, const Graph& g) {
   out << g.num_vertices() << ' ' << g.num_edges() << '\n';
-  for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << '\n';
+  for_each_edge_sorted(
+      g, [&](VertexId u, VertexId v) { out << u << ' ' << v << '\n'; });
 }
 
 Graph read_edge_list(std::istream& in) {
@@ -34,9 +51,9 @@ Graph read_edge_list(std::istream& in) {
 
 void write_dimacs(std::ostream& out, const Graph& g) {
   out << "p edge " << g.num_vertices() << ' ' << g.num_edges() << '\n';
-  for (const Edge& e : g.edges()) {
-    out << "e " << (e.u + 1) << ' ' << (e.v + 1) << '\n';
-  }
+  for_each_edge_sorted(g, [&](VertexId u, VertexId v) {
+    out << "e " << (u + 1) << ' ' << (v + 1) << '\n';
+  });
 }
 
 Graph read_dimacs(std::istream& in) {
@@ -83,9 +100,9 @@ void write_dot(std::ostream& out, const Graph& g,
     if (marked[v]) out << " [style=filled, fillcolor=lightblue]";
     out << ";\n";
   }
-  for (const Edge& e : g.edges()) {
-    out << "  " << e.u << " -- " << e.v << ";\n";
-  }
+  for_each_edge_sorted(g, [&](VertexId u, VertexId v) {
+    out << "  " << u << " -- " << v << ";\n";
+  });
   out << "}\n";
 }
 

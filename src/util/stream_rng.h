@@ -1,0 +1,36 @@
+// Counter-based RNG stream derivation for sharded generation.
+//
+// Rng::split() derives child streams from a generator's *state*, which
+// makes the child depend on how much of the parent has been consumed —
+// exactly right for per-node streams inside a simulation, and exactly
+// wrong for sharded graph generation, where worker lanes must be able
+// to open block b's stream without replaying blocks 0..b-1.
+//
+// stream_rng() below is the counter-based alternative: the generator
+// for stream `stream` under seed `seed` is a pure function of the pair
+// (seed, stream). Streams are therefore seekable (open any counter in
+// O(1)) and independent of consumption order — lane counts, claim
+// order, and interleaving cannot change what any stream yields. The
+// sharded G(n, p) builders key one stream per fixed-size vertex block
+// on this (see gen::gnp_sharded_csr).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace slumber::util {
+
+/// Deterministic generator for counter `stream` under `seed`. Two
+/// chained SplitMix64 steps mix the pair into a 64-bit key; the Rng
+/// constructor expands the key into the xoshiro256** state. Adjacent
+/// counters yield decorrelated streams (SplitMix64 is a bijective
+/// avalanche mix), and no call here has any global state.
+inline Rng stream_rng(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t sm = seed;
+  const std::uint64_t seed_key = splitmix64(sm);
+  sm = seed_key ^ stream;
+  return Rng(splitmix64(sm));
+}
+
+}  // namespace slumber::util

@@ -5,8 +5,17 @@ Diffs a current bench run (BENCH_ci.json, emitted by tools/run_bench.sh)
 against the committed baseline (BENCH_baseline.json) and fails when any
 bench regressed by more than --max-ratio in wall time. Sub---floor-ms
 deltas are ignored so timer noise on tiny benches can never flake the
-job; benches missing from either side are reported but only a bench
-that *failed* in the current run is fatal on its own.
+job. Benches present in only one of the two files are tolerated by
+design — adding or removing a bench must not break the gate — and are
+reported as explicit warnings; only a bench that *failed* in the
+current run is fatal on its own.
+
+Benches that report a build-vs-run wall split (schema slumber-bench-v2,
+"build_ms"/"run_ms" fields) get the split printed alongside the total;
+entries without the split (v1 files, non-split benches) are handled
+identically to before. The gate itself stays on total wall time: the
+split is diagnostic, pinpointing whether a regression lives in graph
+construction or simulation.
 
 Usage:
     tools/compare_bench.py BASELINE.json CURRENT.json \
@@ -44,6 +53,16 @@ def load(path):
     return by_name
 
 
+def fmt_ms(entry):
+    """Wall time, with the build/run split appended when recorded."""
+    if entry is None:
+        return "-"
+    text = f"{entry['wall_ms']}"
+    if "build_ms" in entry and "run_ms" in entry:
+        text += f" ({entry['build_ms']}b/{entry['run_ms']}r)"
+    return text
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Fail on per-bench wall-time regressions.")
@@ -62,20 +81,22 @@ def main():
 
     regressions = []
     failures = []
+    one_sided = []
     rows = []
     for name in sorted(set(baseline) | set(current)):
         base = baseline.get(name)
         cur = current.get(name)
         if cur is None:
-            rows.append((name, base["wall_ms"], None, "missing (removed?)"))
+            one_sided.append((name, "baseline only (removed?)"))
+            rows.append((name, base, None, "missing (removed?)"))
             continue
         if cur.get("status") != "ok":
             failures.append(name)
-            rows.append((name, base and base["wall_ms"], cur["wall_ms"],
-                         "FAILED run"))
+            rows.append((name, base, cur, "FAILED run"))
             continue
         if base is None:
-            rows.append((name, None, cur["wall_ms"], "new bench"))
+            one_sided.append((name, "current only (new bench)"))
+            rows.append((name, None, cur, "new bench"))
             continue
         base_ms, cur_ms = base["wall_ms"], cur["wall_ms"]
         ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
@@ -86,14 +107,16 @@ def main():
             note += f"  REGRESSION (> {args.max_ratio}x)"
         elif cur_ms > args.max_ratio * base_ms:
             note += "  (over ratio, under floor; ignored)"
-        rows.append((name, base_ms, cur_ms, note))
+        rows.append((name, base, cur, note))
 
     width = max(len(name) for name, *_ in rows) if rows else 10
-    print(f"{'bench':<{width}}  {'base ms':>9}  {'now ms':>9}  note")
-    for name, base_ms, cur_ms, note in rows:
-        base_s = f"{base_ms}" if base_ms is not None else "-"
-        cur_s = f"{cur_ms}" if cur_ms is not None else "-"
-        print(f"{name:<{width}}  {base_s:>9}  {cur_s:>9}  {note}")
+    print(f"{'bench':<{width}}  {'base ms':>20}  {'now ms':>20}  note")
+    for name, base, cur, note in rows:
+        print(f"{name:<{width}}  {fmt_ms(base):>20}  {fmt_ms(cur):>20}  "
+              f"{note}")
+
+    for name, why in one_sided:
+        print(f"warning: bench {name}: {why}; not gated", file=sys.stderr)
 
     ok = True
     if failures:

@@ -7,7 +7,11 @@
 #   OUT_JSON   output path (default: BENCH_baseline.json in the repo root)
 #
 # Each standalone bench (plain main(), prints a table) is timed
-# wall-clock and its exit status recorded. bench_sim_micro is a
+# wall-clock and its exit status recorded. Benches that print a
+# `BENCH-SPLIT build_ms=<b> run_ms=<r>` line (the bulk benches) also
+# get their build-vs-run wall split recorded as "build_ms"/"run_ms"
+# fields — schema slumber-bench-v2; tools/compare_bench.py accepts
+# entries with or without the split. bench_sim_micro is a
 # google-benchmark binary with its own timing loop and is skipped here;
 # run it directly for microbenchmark numbers.
 #
@@ -56,8 +60,20 @@ for bench in "$bench_dir"/bench_*; do
   fi
   end=$(now_ms)
   wall_ms=$((end - start))
-  echo "  $name: $status (${wall_ms} ms)"
-  entries+=("    {\"name\": \"$name\", \"status\": \"$status\", \"wall_ms\": $wall_ms}")
+  # Benches that report their build-vs-run wall split emit one
+  # BENCH-SPLIT line; take the last in case of reruns.
+  split=$(grep -o 'BENCH-SPLIT build_ms=[0-9]* run_ms=[0-9]*' "$log" | tail -1)
+  extra=""
+  if [[ -n "$split" ]]; then
+    build_ms=${split#*build_ms=}
+    build_ms=${build_ms%% *}
+    run_ms=${split##*run_ms=}
+    extra=", \"build_ms\": $build_ms, \"run_ms\": $run_ms"
+    echo "  $name: $status (${wall_ms} ms; build ${build_ms} / run ${run_ms})"
+  else
+    echo "  $name: $status (${wall_ms} ms)"
+  fi
+  entries+=("    {\"name\": \"$name\", \"status\": \"$status\", \"wall_ms\": $wall_ms$extra}")
 done
 
 if [[ ${#entries[@]} -eq 0 ]]; then
@@ -67,7 +83,7 @@ fi
 
 {
   echo "{"
-  echo "  \"schema\": \"slumber-bench-v1\","
+  echo "  \"schema\": \"slumber-bench-v2\","
   echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"host\": \"$(uname -srm)\","
   echo "  \"git_rev\": \"$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)\","

@@ -13,6 +13,14 @@
 // (sleeping / luby-a / luby-b / greedy, 10M+-node scale). The two are
 // bitwise interchangeable where they overlap.
 //
+// A global `--gen <legacy|sharded>` flag selects the G(n, p) seed
+// schedule for the gnp families (see graph/generators.h): legacy is
+// the single-stream generator, sharded the counter-based per-block
+// one, whose CSR build parallelizes over the --threads lanes under
+// --engine bulk and which produces memory-diet (CSR-only) graphs.
+// Commands that need the staged edge list (matching, edge-color,
+// ruling-set) reject --gen sharded with an explanation.
+//
 //   slumber families
 //       List the built-in graph families.
 //   slumber engines
@@ -76,6 +84,32 @@ using namespace slumber;
 // Execution back end selected by the global --engine flag.
 analysis::ExecEngine g_exec = analysis::ExecEngine::kCoroutine;
 
+// G(n, p) seed schedule selected by the global --gen flag.
+gen::Schedule g_schedule = gen::Schedule::kLegacy;
+
+/// Builds a graph under the global --gen schedule. `pool`, when
+/// non-null, shards a sharded-schedule build over its lanes.
+Graph make_cli_graph(const gen::Family family, const VertexId n,
+                     const std::uint64_t seed,
+                     util::ThreadPool* pool = nullptr) {
+  gen::MakeOptions options;
+  options.schedule = g_schedule;
+  options.pool = pool;
+  return gen::make(family, n, seed, options);
+}
+
+/// Commands that reduce through the staged edge list cannot take
+/// memory-diet graphs; fail with an explanation instead of a throw.
+bool check_edge_list_schedule(const char* command) {
+  if (g_schedule == gen::Schedule::kSharded) {
+    std::cerr << "error: " << command
+              << " needs an edge-list graph; --gen sharded builds CSR-only "
+                 "memory-diet graphs (use --gen legacy)\n";
+    return false;
+  }
+  return true;
+}
+
 using util::parse_uint;  // full-token std::from_chars validation
 
 /// parse_uint narrowed to a vertex count.
@@ -92,7 +126,8 @@ bool parse_vertex_count(std::string_view token, const char* what,
 
 int usage() {
   std::cerr <<
-      "usage: slumber [--threads N] [--engine coroutine|bulk] <command> ...\n"
+      "usage: slumber [--threads N] [--engine coroutine|bulk] "
+      "[--gen legacy|sharded] <command> ...\n"
       "  slumber families\n"
       "  slumber engines\n"
       "  slumber run <engine> <family> <n> [seed]\n"
@@ -150,16 +185,17 @@ bool check_bulk_support(const analysis::MisEngine engine) {
 int cmd_run(const analysis::MisEngine engine, const gen::Family family,
             const VertexId n, const std::uint64_t seed) {
   if (!check_bulk_support(engine)) return 2;
-  const Graph g = gen::make(family, n, seed);
+  // --engine bulk shards this single trial's node scans — and, with
+  // --gen sharded, the graph build itself — over --threads lanes
+  // (default: all hardware threads); bitwise identical for any N.
+  util::ThreadPool pool(g_exec == analysis::ExecEngine::kBulk
+                            ? analysis::default_trial_threads()
+                            : 1);
+  const Graph g = make_cli_graph(family, n, seed, &pool);
   const auto bounds = arboricity_bounds(g);
   std::cout << "graph: " << g.summary() << " (" << gen::family_name(family)
             << ", arboricity in [" << bounds.lower << ", " << bounds.upper
             << "])\n";
-  // --engine bulk shards this single trial's node scans over --threads
-  // lanes (default: all hardware threads); bitwise identical for any N.
-  util::ThreadPool pool(g_exec == analysis::ExecEngine::kBulk
-                            ? analysis::default_trial_threads()
-                            : 1);
   const auto run = analysis::run_mis(engine, g, seed, nullptr, g_exec, &pool);
   std::cout << "engine: " << analysis::engine_name(engine) << " ("
             << analysis::exec_engine_name(g_exec) << " execution, "
@@ -197,10 +233,11 @@ int cmd_sweep(const analysis::MisEngine engine, const gen::Family family,
   std::vector<double> ns;
   std::vector<double> awake;
   for (VertexId n = 64; n <= max_n; n *= 4) {
+    gen::MakeOptions options;
+    options.schedule = g_schedule;
     const auto agg = analysis::aggregate_mis(
-        engine,
-        [&](std::uint64_t seed) { return gen::make(family, n, seed); },
-        7 * n, seeds, 0, g_exec);
+        engine, analysis::graph_factory(family, n, options), 7 * n, seeds, 0,
+        g_exec);
     ns.push_back(n);
     awake.push_back(agg.node_avg_awake_mean);
     table.add_row({analysis::Table::num(std::uint64_t{n}),
@@ -228,7 +265,7 @@ int cmd_tree(const std::uint32_t levels) {
 
 int cmd_graph(const gen::Family family, const VertexId n,
               const std::uint64_t seed, const bool dot) {
-  const Graph g = gen::make(family, n, seed);
+  const Graph g = make_cli_graph(family, n, seed);
   if (dot) {
     io::write_dot(std::cout, g);
   } else {
@@ -239,7 +276,7 @@ int cmd_graph(const gen::Family family, const VertexId n,
 
 int cmd_trace(const analysis::MisEngine engine, const gen::Family family,
               const VertexId n, const std::uint64_t seed) {
-  const Graph g = gen::make(family, n, seed);
+  const Graph g = make_cli_graph(family, n, seed);
   sim::RingTrace trace(60);
   sim::NetworkOptions options;
   options.max_message_bits = sim::congest_bits_for(g.num_vertices());
@@ -265,6 +302,7 @@ int cmd_trace(const analysis::MisEngine engine, const gen::Family family,
 
 int cmd_matching(const analysis::MisEngine engine, const gen::Family family,
                  const VertexId n, const std::uint64_t seed) {
+  if (!check_edge_list_schedule("matching")) return 2;
   const Graph g = gen::make(family, n, seed);
   std::cout << "graph: " << g.summary() << ", line graph n = "
             << g.num_edges() << "\n";
@@ -282,6 +320,7 @@ int cmd_matching(const analysis::MisEngine engine, const gen::Family family,
 
 int cmd_edge_color(const gen::Family family, const VertexId n,
                    const std::uint64_t seed) {
+  if (!check_edge_list_schedule("edge-color")) return 2;
   const Graph g = gen::make(family, n, seed);
   const auto result = algos::edge_coloring_via_line_graph(g, seed);
   const bool valid = algos::check_edge_coloring(g, result.colors);
@@ -296,6 +335,7 @@ int cmd_edge_color(const gen::Family family, const VertexId n,
 int cmd_ruling_set(const analysis::MisEngine engine, const gen::Family family,
                    const VertexId n, const std::uint32_t k,
                    const std::uint64_t seed) {
+  if (!check_edge_list_schedule("ruling-set")) return 2;
   const Graph g = gen::make(family, n, seed);
   const auto result = algos::ruling_set_via_mis(g, k, seed, engine);
   const auto check = algos::check_ruling_set(g, result.rulers, k + 1, k);
@@ -314,7 +354,7 @@ int cmd_ruling_set(const analysis::MisEngine engine, const gen::Family family,
 
 int cmd_beep(const gen::Family family, const VertexId n,
              const std::uint64_t seed) {
-  const Graph g = gen::make(family, n, seed);
+  const Graph g = make_cli_graph(family, n, seed);
   sim::Metrics metrics;
   std::vector<std::int64_t> outputs;
   if (g_exec == analysis::ExecEngine::kBulk) {
@@ -346,7 +386,7 @@ int cmd_beep(const gen::Family family, const VertexId n,
 
 int cmd_leader(const gen::Family family, const VertexId n,
                const std::uint64_t seed) {
-  const Graph g = gen::make(family, n, seed);
+  const Graph g = make_cli_graph(family, n, seed);
   if (!is_connected(g)) {
     std::cerr << "leader: graph is disconnected; one leader per component\n";
   }
@@ -390,6 +430,19 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return usage();
       if (!analysis::exec_engine_from_name(argv[++i], &g_exec)) {
         return usage();
+      }
+      continue;
+    }
+    if (std::string(argv[i]) == "--gen") {
+      if (i + 1 >= argc) return usage();
+      if (!gen::schedule_from_name(argv[++i], &g_schedule)) {
+        std::cerr << "error: unknown --gen '" << argv[i]
+                  << "'; valid generators:";
+        for (const gen::Schedule schedule : gen::all_schedules()) {
+          std::cerr << ' ' << gen::schedule_name(schedule);
+        }
+        std::cerr << '\n';
+        return 2;
       }
       continue;
     }
