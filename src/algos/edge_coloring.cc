@@ -1,7 +1,7 @@
 #include "algos/edge_coloring.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <vector>
 
 #include "algos/luby_coloring.h"
 
@@ -19,11 +19,18 @@ EdgeColoringResult edge_coloring_via_line_graph(const Graph& g,
   EdgeColoringResult result;
   result.colors = std::move(outputs);
   result.line_graph_metrics = std::move(metrics);
-  std::unordered_set<std::int64_t> distinct;
+  // Distinct-color count via sort+unique on a flat vector: same result
+  // as a hash set, no implementation-defined container involved (lint
+  // rule slumber-d2).
+  std::vector<std::int64_t> palette_used;
+  palette_used.reserve(result.colors.size());
   for (std::int64_t c : result.colors) {
-    if (c >= 0) distinct.insert(c);
+    if (c >= 0) palette_used.push_back(c);
   }
-  result.colors_used = distinct.size();
+  std::sort(palette_used.begin(), palette_used.end());
+  palette_used.erase(std::unique(palette_used.begin(), palette_used.end()),
+                     palette_used.end());
+  result.colors_used = palette_used.size();
   return result;
 }
 
@@ -36,15 +43,20 @@ bool check_edge_coloring(const Graph& g,
   for (std::int64_t c : colors) {
     if (c < 0 || c >= palette) return false;
   }
-  // Adjacent edges (sharing an endpoint) must differ. Scan per vertex.
+  // Adjacent edges (sharing an endpoint) must differ. Scan per vertex
+  // with a direct-indexed stamp array over the (bounded) palette — the
+  // colors were range-checked above, so colors[eid] indexes safely.
+  // stamp[c] == v + 1 means color c was already seen at vertex v.
+  std::vector<VertexId> stamp(static_cast<std::size_t>(palette), 0);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    std::unordered_set<std::int64_t> seen;
     for (VertexId u : g.neighbors(v)) {
       const Edge e = u < v ? Edge{u, v} : Edge{v, u};
       const auto& edges = g.edges();
       const auto it = std::lower_bound(edges.begin(), edges.end(), e);
       const auto eid = static_cast<EdgeId>(it - edges.begin());
-      if (!seen.insert(colors[eid]).second) return false;
+      const auto c = static_cast<std::size_t>(colors[eid]);
+      if (stamp[c] == v + 1) return false;
+      stamp[c] = v + 1;
     }
   }
   return true;

@@ -54,6 +54,8 @@ void CsvWriter::write_row(const std::vector<std::string>& row) {
 }
 
 std::optional<std::string> csv_path_from_env(const std::string& name) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe from
+  // the single-threaded experiment setup path; nothing mutates the env.
   const char* dir = std::getenv("SLUMBER_CSV_DIR");
   if (dir == nullptr || *dir == '\0') return std::nullopt;
   return std::string(dir) + "/" + name + ".csv";

@@ -16,6 +16,8 @@ void set_default_trial_threads(unsigned num_threads) {
 unsigned default_trial_threads() {
   const unsigned override = g_thread_override.load(std::memory_order_relaxed);
   if (override > 0) return override;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe at
+  // startup, before any pool threads exist; nothing mutates the env.
   if (const char* env = std::getenv("SLUMBER_THREADS")) {
     const long parsed = std::strtol(env, nullptr, 10);
     if (parsed > 0) return static_cast<unsigned>(parsed);

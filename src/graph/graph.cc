@@ -4,7 +4,7 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
+#include <utility>
 
 namespace slumber {
 
@@ -152,22 +152,37 @@ std::int64_t Graph::port_to(VertexId v, VertexId u) const {
 
 std::pair<Graph, std::vector<VertexId>> Graph::induced(
     std::span<const VertexId> vertices) const {
-  std::unordered_map<VertexId, VertexId> to_new;
-  to_new.reserve(vertices.size());
+  // Sorted (original, new) pairs instead of a hash map: lookups are
+  // lower_bound on a contiguous array, and the relabeling carries no
+  // implementation-defined container state (lint rule slumber-d2).
   std::vector<VertexId> to_original(vertices.begin(), vertices.end());
+  std::vector<std::pair<VertexId, VertexId>> to_new;
+  to_new.reserve(to_original.size());
   for (VertexId i = 0; i < to_original.size(); ++i) {
-    auto [it, inserted] = to_new.emplace(to_original[i], i);
-    if (!inserted) {
-      throw std::invalid_argument("Graph::induced: duplicate vertex");
-    }
+    to_new.emplace_back(to_original[i], i);
   }
+  std::sort(to_new.begin(), to_new.end());
+  if (std::adjacent_find(to_new.begin(), to_new.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first == b.first;
+                         }) != to_new.end()) {
+    throw std::invalid_argument("Graph::induced: duplicate vertex");
+  }
+  const auto lookup = [&to_new](VertexId original) -> std::int64_t {
+    auto it = std::lower_bound(
+        to_new.begin(), to_new.end(), original,
+        [](const auto& entry, VertexId key) { return entry.first < key; });
+    if (it == to_new.end() || it->first != original) return -1;
+    return it->second;
+  };
   std::vector<Edge> sub_edges;
   for (const Edge& e : edges_) {
-    auto iu = to_new.find(e.u);
-    if (iu == to_new.end()) continue;
-    auto iv = to_new.find(e.v);
-    if (iv == to_new.end()) continue;
-    sub_edges.push_back({iu->second, iv->second});
+    const std::int64_t iu = lookup(e.u);
+    if (iu < 0) continue;
+    const std::int64_t iv = lookup(e.v);
+    if (iv < 0) continue;
+    sub_edges.push_back(
+        {static_cast<VertexId>(iu), static_cast<VertexId>(iv)});
   }
   return {Graph(static_cast<VertexId>(to_original.size()), std::move(sub_edges)),
           std::move(to_original)};

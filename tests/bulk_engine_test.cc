@@ -71,8 +71,8 @@ INSTANTIATE_TEST_SUITE_P(Generators, BulkCrossValidation,
                                            gen::Family::kUnitDisk,
                                            gen::Family::kStar,
                                            gen::Family::kGrid),
-                         [](const auto& info) {
-                           return gen::family_name(info.param);
+                         [](const auto& param_info) {
+                           return gen::family_name(param_info.param);
                          });
 
 // --- coin bias and forced recursion depth --------------------------

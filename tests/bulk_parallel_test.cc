@@ -97,8 +97,8 @@ INSTANTIATE_TEST_SUITE_P(Generators, BulkParallelCrossValidation,
                                            gen::Family::kRandomTree,
                                            gen::Family::kUnitDisk,
                                            gen::Family::kStar),
-                         [](const auto& info) {
-                           return gen::family_name(info.param);
+                         [](const auto& param_info) {
+                           return gen::family_name(param_info.param);
                          });
 
 // --- recursion traces shard-invariantly ------------------------------

@@ -115,10 +115,10 @@ INSTANTIATE_TEST_SUITE_P(Engines, ParallelRunnerDeterminismTest,
                          ::testing::Values(MisEngine::kSleeping,
                                            MisEngine::kFastSleeping,
                                            MisEngine::kLubyA),
-                         [](const auto& info) {
-                           return engine_name(info.param) == "SleepingMIS"
+                         [](const auto& param_info) {
+                           return engine_name(param_info.param) == "SleepingMIS"
                                       ? std::string("Sleeping")
-                                  : engine_name(info.param) ==
+                                  : engine_name(param_info.param) ==
                                           "Fast-SleepingMIS"
                                       ? std::string("FastSleeping")
                                       : std::string("LubyA");

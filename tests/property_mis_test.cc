@@ -113,8 +113,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MisEngine::kSleeping, MisEngine::kFastSleeping,
                       MisEngine::kLubyA, MisEngine::kLubyB, MisEngine::kGreedy,
                       MisEngine::kGhaffari),
-    [](const ::testing::TestParamInfo<MisEngine>& info) {
-      std::string name = engine_name(info.param);
+    [](const ::testing::TestParamInfo<MisEngine>& param_info) {
+      std::string name = engine_name(param_info.param);
       for (char& c : name) {
         if (c == '-') c = '_';
       }

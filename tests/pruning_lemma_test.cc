@@ -90,8 +90,8 @@ INSTANTIATE_TEST_SUITE_P(
                       gen::Family::kCycle, gen::Family::kStar,
                       gen::Family::kRandomTree, gen::Family::kBarabasiAlbert,
                       gen::Family::kLollipop, gen::Family::kUnitDisk),
-    [](const ::testing::TestParamInfo<gen::Family>& info) {
-      return gen::family_name(info.param);
+    [](const ::testing::TestParamInfo<gen::Family>& param_info) {
+      return gen::family_name(param_info.param);
     });
 
 TEST(PruningLemmaDetailTest, TotalParticipationLinearInN) {

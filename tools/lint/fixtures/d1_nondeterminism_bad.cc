@@ -1,0 +1,38 @@
+// Must-flag fixture for slumber-d1: every classic nondeterminism
+// source the rule bans from src/. Each annotated line must produce
+// exactly one slumber-d1 finding.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+
+namespace fixture {
+
+int bad_rand() {
+  return std::rand();  // MUST-FLAG(slumber-d1)
+}
+
+void bad_srand() {
+  std::srand(42);  // MUST-FLAG(slumber-d1)
+}
+
+unsigned bad_entropy() {
+  std::random_device rd;  // MUST-FLAG(slumber-d1)
+  return rd();
+}
+
+long bad_clock() {
+  auto t = std::chrono::steady_clock::now();  // MUST-FLAG(slumber-d1)
+  return t.time_since_epoch().count();
+}
+
+long bad_time_seed() {
+  return time(nullptr);  // MUST-FLAG(slumber-d1)
+}
+
+unsigned bad_thread_count() {
+  return std::thread::hardware_concurrency();  // MUST-FLAG(slumber-d1)
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Must-pass fixture for slumber-d1: deterministic seeding and the
+// suppression path. No findings allowed anywhere in this file.
+#include <cstdint>
+#include <thread>
+
+namespace fixture {
+
+// A comment may talk about std::rand, random_device, or
+// hardware_concurrency freely -- comments are not code.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ULL;
+    return state;
+  }
+};
+
+std::uint64_t seeded_draw(std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.next();
+}
+
+// Identifiers merely *containing* banned substrings must not trip the
+// word-boundary patterns.
+int operand_count(int operands) { return operands + 1; }
+
+unsigned justified_probe() {
+  // NOLINTNEXTLINE(slumber-d1): feeds a progress log only, never a seed
+  unsigned n = std::thread::hardware_concurrency();
+  unsigned m =
+      std::thread::hardware_concurrency();  // NOLINT(slumber-d1): log only
+  return n + m;
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Must-flag fixture for slumber-d2: iterating hash containers whose
+// order is implementation-defined.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t bad_range_for(const std::vector<std::uint32_t>& keys) {
+  std::unordered_set<std::uint32_t> seen(keys.begin(), keys.end());
+  std::uint64_t digest = 0;
+  for (std::uint32_t k : seen) {  // MUST-FLAG(slumber-d2)
+    digest = digest * 31 + k;
+  }
+  return digest;
+}
+
+std::uint64_t bad_iterator_walk() {
+  std::unordered_map<std::uint32_t, std::uint32_t> relabel;
+  relabel.emplace(3, 0);
+  relabel.emplace(7, 1);
+  std::uint64_t digest = 0;
+  for (auto it = relabel.begin(); it != relabel.end(); ++it) {  // MUST-FLAG(slumber-d2)
+    digest = digest * 31 + it->second;
+  }
+  return digest;
+}
+
+}  // namespace fixture

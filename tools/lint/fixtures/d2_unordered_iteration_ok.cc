@@ -1,0 +1,34 @@
+// Must-pass fixture for slumber-d2: lookup-only hash-container use is
+// deterministic, and the sorted-drain idiom replaces iteration.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+// find/emplace/insert/count never observe iteration order.
+bool lookup_only(const std::vector<std::uint32_t>& keys) {
+  std::unordered_map<std::uint32_t, std::uint32_t> relabel;
+  for (std::uint32_t i = 0; i < keys.size(); ++i) {
+    relabel.emplace(keys[i], i);
+  }
+  auto it = relabel.find(42);
+  return it != relabel.end() && relabel.count(7) > 0;
+}
+
+// The mandated replacement: drain into a vector, sort, then iterate
+// the vector (deterministic order).
+std::uint64_t sorted_drain(const std::unordered_set<std::uint32_t>& seen) {
+  // NOLINTNEXTLINE(slumber-d2): drained into a sorted vector before use
+  std::vector<std::uint32_t> ordered(seen.begin(), seen.end());
+  std::sort(ordered.begin(), ordered.end());
+  std::uint64_t digest = 0;
+  for (std::uint32_t k : ordered) {
+    digest = digest * 31 + k;
+  }
+  return digest;
+}
+
+}  // namespace fixture

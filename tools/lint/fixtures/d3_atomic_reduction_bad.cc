@@ -1,0 +1,28 @@
+// Must-flag fixture for slumber-d3: atomic reductions that are not
+// commutative-and-associative integer ops.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+double bad_fp_accumulate(const std::vector<double>& xs) {
+  std::atomic<double> total{0.0};
+  for (double x : xs) {
+    total.fetch_add(x);  // MUST-FLAG(slumber-d3)
+  }
+  return total.load();
+}
+
+void bad_inline_fp_ref(std::vector<double>& partials) {
+  std::atomic_ref<double>(partials[0]).fetch_add(1.5);  // MUST-FLAG(slumber-d3)
+}
+
+std::uint32_t bad_cas_loop(std::atomic<std::uint32_t>& level) {
+  std::uint32_t cur = level.load();
+  while (!level.compare_exchange_weak(cur, cur + 1)) {  // MUST-FLAG(slumber-d3)
+  }
+  return cur;
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Must-pass fixture for slumber-d3: integer atomic sums are
+// commutative and associative (order-free), FP reductions belong in
+// per-chunk partials merged in chunk order, and a justified CAS is
+// allowed through NOLINT-with-reason.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t ok_integer_sum(const std::vector<std::uint32_t>& xs) {
+  std::atomic<std::uint64_t> total{0};
+  for (std::uint32_t x : xs) {
+    total.fetch_add(x, std::memory_order_relaxed);
+  }
+  return total.load(std::memory_order_relaxed);
+}
+
+// The mandated FP discipline: per-chunk partials, merged serially in
+// chunk index order after the parallel section.
+double ok_fp_partials(const std::vector<std::vector<double>>& chunks) {
+  std::vector<double> partials(chunks.size(), 0.0);
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    for (double x : chunks[c]) partials[c] += x;
+  }
+  double total = 0.0;
+  for (std::size_t c = 0; c < partials.size(); ++c) total += partials[c];
+  return total;
+}
+
+std::uint32_t ok_justified_cas(std::atomic<std::uint32_t>& hwm,
+                               std::uint32_t candidate) {
+  std::uint32_t cur = hwm.load(std::memory_order_relaxed);
+  // A monotone max is retry-order independent: the final value is the
+  // max of all candidates regardless of CAS interleaving.
+  // NOLINTNEXTLINE(slumber-d3): monotone max; final value is order-free
+  while (cur < candidate && !hwm.compare_exchange_weak(cur, candidate)) {
+  }
+  return cur;
+}
+
+}  // namespace fixture

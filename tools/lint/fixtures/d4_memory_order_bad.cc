@@ -1,0 +1,24 @@
+// Must-flag fixture for slumber-d4a: memory_order stricter than
+// relaxed with no adjacent justification comment.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t naked_acquire(const std::atomic<std::uint64_t>& ready) {
+  std::uint64_t a = 0;
+  a += 1;
+  a *= 2;
+  a ^= 3;
+  return ready.load(std::memory_order_acquire);  // MUST-FLAG(slumber-d4)
+}
+
+void naked_release(std::atomic<std::uint64_t>& flag) {
+  std::uint64_t b = 7;
+  b <<= 1;
+  b |= 1;
+  b &= 0xff;
+  flag.store(b, std::memory_order_seq_cst);  // MUST-FLAG(slumber-d4)
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Must-pass fixture for slumber-d4a: relaxed ordering needs no
+// justification, and stricter orderings with adjacent prose are fine.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t relaxed_is_free(const std::atomic<std::uint64_t>& counter) {
+  return counter.load(std::memory_order_relaxed);
+}
+
+std::uint64_t justified_same_line(const std::atomic<std::uint64_t>& ready) {
+  return ready.load(
+      std::memory_order_acquire);  // pairs with the release store in
+                                   // publish(); makes the payload visible
+}
+
+void justified_preceding_lines(std::atomic<std::uint64_t>& flag,
+                               std::uint64_t payload) {
+  // Publish: the consumer's acquire load of `flag` must observe the
+  // payload written before this store (release/acquire pair).
+  flag.store(payload, std::memory_order_release);
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Must-flag fixture for slumber-nolint: a suppression marker for a
+// slumber rule without a reason string is itself a finding -- the
+// policy is suppression-with-rationale, never bare suppression.
+#include <unordered_set>
+
+namespace fixture {
+
+int reasonless_suppression(const std::unordered_set<int>& seen) {
+  int sum = 0;
+  for (int k : seen) {  // NOLINT(slumber-d2) MUST-FLAG(slumber-nolint)
+    sum += k;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Sharded, cached clang-tidy runner for the slumber-lint pass.
+
+Reads compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS is on by
+default for this project), shards the repo's translation units over a
+process pool, and emits a stable, diffable findings report: findings
+are deduplicated, repo-relative, and sorted by (file, line, column,
+check), so two runs over the same tree produce byte-identical reports
+regardless of shard interleaving.
+
+Incremental runs are cheap: each TU's result is cached in
+<build>/.clang-tidy-cache/ keyed by a fingerprint of (clang-tidy
+version, .clang-tidy config, the TU's compile command, the TU's
+content, and a digest over every project header). Touch nothing and
+the whole run is cache hits; edit one .cc and only it re-runs; edit a
+header and everything re-runs (conservative but correct -- no
+dependency scanning to go stale).
+
+Tool gating: this repo builds in minimal containers without a clang
+toolchain. When clang-tidy is absent the runner prints a skip notice
+and exits 0 so `cmake --build build --target lint` stays usable
+everywhere; CI passes --require to turn a missing binary into a hard
+failure there.
+
+Usage:
+    tools/lint/run_clang_tidy.py [--build-dir build] [--jobs N]
+        [--report out.txt] [--require] [--no-cache] [paths...]
+
+Exit status: 0 clean (or skipped), 1 findings, 2 infrastructure error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+TU_DIRS = ("src", "bench", "examples", "tools", "tests")
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<message>.*?) \[(?P<check>[\w.,-]+)\]$",
+    re.MULTILINE)
+
+
+def find_clang_tidy(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("clang-tidy", "clang-tidy-19", "clang-tidy-18",
+                 "clang-tidy-17", "clang-tidy-16", "clang-tidy-15",
+                 "clang-tidy-14"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def sha256_file(path: str) -> str:
+    h = hashlib.sha256()
+    try:
+        with open(path, "rb") as fh:
+            for block in iter(lambda: fh.read(1 << 16), b""):
+                h.update(block)
+    except OSError:
+        h.update(b"<unreadable>")
+    return h.hexdigest()
+
+
+def headers_digest(root: str) -> str:
+    """One digest over every project header: a header edit invalidates
+    the whole cache (conservative; never stale)."""
+    h = hashlib.sha256()
+    for tu_dir in TU_DIRS:
+        base = os.path.join(root, tu_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith((".h", ".hpp")):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    h.update(rel.encode())
+                    h.update(sha256_file(os.path.join(dirpath, name)).encode())
+    return h.hexdigest()
+
+
+def load_compile_commands(build_dir: str, root: str,
+                          only: list[str]) -> list[dict]:
+    ccpath = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(ccpath):
+        sys.exit(f"error: {ccpath} not found -- configure first "
+                 f"(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)")
+    with open(ccpath, "r", encoding="utf-8") as fh:
+        entries = json.load(fh)
+    selected = []
+    seen = set()
+    for entry in entries:
+        abspath = os.path.normpath(
+            os.path.join(entry["directory"], entry["file"]))
+        rel = os.path.relpath(abspath, root)
+        if rel.startswith("..") or "_deps" in rel:
+            continue  # third-party / out-of-tree TU
+        if not rel.replace(os.sep, "/").split("/")[0] in TU_DIRS:
+            continue
+        if only and not any(
+                rel.replace(os.sep, "/").startswith(p.rstrip("/") + "/") or
+                rel.replace(os.sep, "/") == p for p in only):
+            continue
+        if abspath in seen:
+            continue
+        seen.add(abspath)
+        entry["abspath"] = abspath
+        entry["rel"] = rel.replace(os.sep, "/")
+        selected.append(entry)
+    selected.sort(key=lambda e: e["rel"])
+    return selected
+
+
+def tu_fingerprint(entry: dict, tool_version: str, config_hash: str,
+                   headers_hash: str) -> str:
+    h = hashlib.sha256()
+    for part in (tool_version, config_hash, headers_hash,
+                 entry.get("command", "") or " ".join(
+                     entry.get("arguments", [])),
+                 sha256_file(entry["abspath"])):
+        h.update(part.encode())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def run_tu(tidy: str, build_dir: str, entry: dict,
+           root: str) -> tuple[str, list[str], str]:
+    """Returns (rel path, findings, raw stderr-on-crash)."""
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", entry["abspath"]],
+        capture_output=True, text=True)
+    findings = []
+    for m in FINDING_RE.finditer(proc.stdout):
+        path = m.group("path")
+        if os.path.isabs(path):
+            try:
+                path = os.path.relpath(path, root)
+            except ValueError:
+                pass
+        path = path.replace(os.sep, "/")
+        if path.startswith("..") or "_deps" in path:
+            continue  # finding in third-party code; not ours to fix
+        findings.append(
+            f"{path}:{m.group('line')}:{m.group('col')}: "
+            f"{m.group('message')} [{m.group('check')}]")
+    crash = ""
+    if proc.returncode not in (0, 1) and not findings:
+        crash = (proc.stderr or proc.stdout).strip()[-2000:]
+    return entry["rel"], findings, crash
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="sharded + cached clang-tidy over the project TUs")
+    parser.add_argument("paths", nargs="*",
+                        help="restrict to these repo-relative files/dirs")
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--root", default=None)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--report", default=None,
+                        help="also write the findings report to this file")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: first found)")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) when clang-tidy is missing "
+                             "instead of skipping")
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args()
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.abspath(args.root or os.path.join(here, "..", ".."))
+    build_dir = os.path.abspath(args.build_dir)
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        msg = ("run_clang_tidy: clang-tidy not found on PATH; skipping "
+               "the clang-tidy half of the lint pass (slumber_checks.py "
+               "still runs). Install clang-tidy to enable.")
+        if args.require:
+            print(f"error: {msg}", file=sys.stderr)
+            return 2
+        print(msg)
+        return 0
+
+    version = subprocess.run([tidy, "--version"], capture_output=True,
+                             text=True).stdout.strip()
+    config_hash = sha256_file(os.path.join(root, ".clang-tidy"))
+    headers_hash = headers_digest(root)
+    entries = load_compile_commands(build_dir, root, args.paths)
+    if not entries:
+        print("run_clang_tidy: no project translation units selected")
+        return 0
+
+    cache_dir = os.path.join(build_dir, ".clang-tidy-cache")
+    os.makedirs(cache_dir, exist_ok=True)
+
+    all_findings: set[str] = set()
+    crashes: list[str] = []
+    hits = 0
+    to_run = []
+    keys = {}
+    for entry in entries:
+        key = tu_fingerprint(entry, version, config_hash, headers_hash)
+        keys[entry["rel"]] = key
+        cache_path = os.path.join(cache_dir, key + ".json")
+        if not args.no_cache and os.path.isfile(cache_path):
+            try:
+                with open(cache_path, "r", encoding="utf-8") as fh:
+                    cached = json.load(fh)
+                all_findings.update(cached["findings"])
+                hits += 1
+                continue
+            except (OSError, json.JSONDecodeError, KeyError):
+                pass
+        to_run.append(entry)
+
+    if to_run:
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=max(1, args.jobs)) as pool:
+            futures = {
+                pool.submit(run_tu, tidy, build_dir, entry, root): entry
+                for entry in to_run}
+            for future in concurrent.futures.as_completed(futures):
+                rel, findings, crash = future.result()
+                if crash:
+                    crashes.append(f"{rel}: clang-tidy failed:\n{crash}")
+                    continue
+                all_findings.update(findings)
+                cache_path = os.path.join(cache_dir, keys[rel] + ".json")
+                tmp = cache_path + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump({"tu": rel, "findings": findings}, fh)
+                os.replace(tmp, cache_path)
+
+    def sort_key(line: str):
+        m = re.match(r"([^:]+):(\d+):(\d+):", line)
+        if m:
+            return (m.group(1), int(m.group(2)), int(m.group(3)), line)
+        return (line, 0, 0, line)
+
+    report_lines = sorted(all_findings, key=sort_key)
+    summary = (f"run_clang_tidy: {len(entries)} TUs "
+               f"({hits} cached, {len(to_run)} analyzed), "
+               f"{len(report_lines)} finding(s)")
+    body = "\n".join(report_lines)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(body + ("\n" if body else ""))
+    if body:
+        print(body)
+    print(summary)
+    if crashes:
+        print("\n".join(crashes), file=sys.stderr)
+        return 2
+    return 1 if report_lines else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
