@@ -12,6 +12,7 @@
 #include "analysis/experiment.h"
 #include "analysis/table.h"
 #include "algos/matching.h"
+#include "fault/fault.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 
@@ -31,9 +32,11 @@ Outcome sweep(MisEngine engine, double crash_prob, std::uint32_t seeds) {
   for (std::uint32_t s = 0; s < seeds; ++s) {
     Rng rng(n + s);
     const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
+    fault::FaultPlan plan;
+    plan.crash_prob = crash_prob;
     sim::NetworkOptions options;
     options.max_message_bits = sim::congest_bits_for(n);
-    options.crash_prob = crash_prob;
+    options.fault = &plan;
     auto [metrics, outputs] =
         sim::run_protocol(g, 1000 + s, algos::mis_protocol(engine), options);
 

@@ -1,0 +1,192 @@
+// Fault-injection degradation across the bulk MIS protocols.
+//
+// For one G(n, 8/n) instance the bench runs every bulk MIS engine
+// (Sleeping, Luby-A, Luby-B, CRT-greedy) under four fault scenarios —
+// fault-free, 1% symmetric message loss, probabilistic fail-stop
+// crashes, and loss combined with post-run membership churn plus
+// incremental repair — and reports what each scenario costs: crashed
+// nodes, injected losses, the surviving MIS's size, and the damage to
+// the MIS invariant on the alive-induced subgraph (independence
+// violations and uncovered nodes), plus the repair effort for the
+// churn scenario. Fault evaluation is pure keyed draws, so every cell
+// is reproducible bit for bit at any lane count.
+//
+// The shared flag grammar (analysis/trial_spec.h) applies: --threads
+// sets the intra-trial lane count, --gen picks the G(n, p) schedule
+// (sharded builds CSR-only memory-diet graphs in parallel — the 10^7
+// recipe). The paper-scale invocation behind the committed baseline's
+// acceptance row:
+//
+//   bench_fault_scaling 10000000 --threads 8 --gen sharded
+//
+// The final `BENCH-SPLIT build_ms=<b> run_ms=<r>` line feeds
+// tools/run_bench.sh.
+//
+//   bench_fault_scaling [n] [seed] [--threads N] [--gen legacy|sharded]
+//       (default: 1,000,000 / 1)
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "analysis/trial_spec.h"
+#include "analysis/verify.h"
+#include "fault/fault.h"
+#include "graph/generators.h"
+#include "util/parse.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace slumber;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::uint64_t parse_or_die(const std::string& token, const char* what) {
+  std::uint64_t value = 0;
+  if (!util::parse_uint(token, what, &value)) std::exit(2);
+  return value;
+}
+
+/// Damage to the MIS invariant on the alive-induced subgraph: edges
+/// with two alive MIS endpoints, and alive nodes that are neither in
+/// the MIS nor dominated by an alive MIS neighbor (undecided alive
+/// nodes count as uncovered).
+struct Damage {
+  std::uint64_t independence_violations = 0;
+  std::uint64_t uncovered = 0;
+};
+
+Damage measure_damage(const Graph& g, const analysis::MisRun& run) {
+  const auto alive = [&](VertexId v) {
+    return run.alive.empty() || run.alive[v] != 0;
+  };
+  Damage d;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!alive(v)) continue;
+    if (run.outputs[v] == 1) {
+      for (const VertexId u : g.neighbors(v)) {
+        // Count each bad edge once.
+        if (u > v && alive(u) && run.outputs[u] == 1) {
+          ++d.independence_violations;
+        }
+      }
+      continue;
+    }
+    bool covered = false;
+    if (run.outputs[v] == 0) {
+      for (const VertexId u : g.neighbors(v)) {
+        if (alive(u) && run.outputs[u] == 1) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    if (!covered) ++d.uncovered;
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  analysis::TrialSpec spec;
+  spec.exec = analysis::ExecEngine::kBulk;
+  if (!analysis::parse_trial_flags(&args, &spec)) return 2;
+  const VertexId n =
+      args.size() > 1 ? static_cast<VertexId>(parse_or_die(args[1], "<n>"))
+                      : 1'000'000;
+  const std::uint64_t seed = args.size() > 2 ? parse_or_die(args[2], "<seed>")
+                                             : 1;
+  const unsigned threads =
+      spec.threads != 0 ? spec.threads : analysis::default_trial_threads();
+  util::ThreadPool pool(threads);
+
+  const auto build_start = std::chrono::steady_clock::now();
+  gen::MakeOptions make_options;
+  make_options.schedule = spec.schedule;
+  make_options.pool = &pool;
+  const Graph g = gen::make(gen::Family::kGnpSparse, n, seed, make_options);
+  const double build_ms = ms_since(build_start);
+  std::cout << "graph: " << g.summary() << " (" << threads << " lanes, "
+            << gen::schedule_name(spec.schedule) << " gen, build "
+            << analysis::Table::num(build_ms, 0) << " ms)\n\n";
+
+  struct Scenario {
+    std::string name;
+    fault::FaultPlan plan;
+  };
+  std::vector<Scenario> scenarios(4);
+  scenarios[0].name = "none";
+  scenarios[1].name = "loss 1%";
+  scenarios[1].plan.loss_prob = 0.01;
+  scenarios[2].name = "crash";
+  // A handful of scheduled crashes plus a per-awake-round rate sized so
+  // hundreds of nodes fail over an O(log n) awake lifetime.
+  scenarios[2].plan.crash_schedule = {{0, 1}, {1, 4}, {2, 16}};
+  scenarios[2].plan.crash_prob = 1e-6;
+  scenarios[3].name = "loss+churn";
+  scenarios[3].plan.loss_prob = 0.01;
+  scenarios[3].plan.churn.leave_prob = 0.05;
+  scenarios[3].plan.churn.join_prob = 0.5;
+  scenarios[3].plan.churn.batches = 3;
+
+  analysis::Table table({"protocol", "scenario", "crashed", "lost msgs",
+                         "alive", "MIS size", "indep viol", "uncovered",
+                         "repair", "valid", "run ms"});
+  const auto run_start = std::chrono::steady_clock::now();
+  bool all_clean_valid = true;
+  bool churn_valid = true;
+  for (const analysis::MisEngine engine :
+       {analysis::MisEngine::kSleeping, analysis::MisEngine::kLubyA,
+        analysis::MisEngine::kLubyB, analysis::MisEngine::kGreedy}) {
+    for (const Scenario& scenario : scenarios) {
+      const auto start = std::chrono::steady_clock::now();
+      const fault::FaultPlan* plan =
+          scenario.plan.empty() ? nullptr : &scenario.plan;
+      const analysis::MisRun run = analysis::run_mis(
+          engine, g, seed, {.exec = analysis::ExecEngine::kBulk, .pool = &pool,
+                            .fault = plan, .node_metrics = false});
+      const double run_ms = ms_since(start);
+      const Damage damage = measure_damage(g, run);
+      std::uint64_t alive = n;
+      for (const std::uint8_t a : run.alive) alive -= a == 0 ? 1 : 0;
+      if (plan == nullptr) all_clean_valid &= run.valid;
+      if (scenario.plan.churn.enabled()) churn_valid &= run.valid;
+      table.add_row({analysis::engine_name(engine), scenario.name,
+                     analysis::Table::num(run.metrics.crashed_nodes),
+                     analysis::Table::num(run.metrics.injected_losses),
+                     analysis::Table::num(alive),
+                     analysis::Table::num(run.mis_size),
+                     analysis::Table::num(damage.independence_violations),
+                     analysis::Table::num(damage.uncovered),
+                     analysis::Table::num(run.metrics.churn_repair_rounds),
+                     run.valid ? "yes" : "NO",
+                     analysis::Table::num(run_ms, 0)});
+    }
+  }
+  std::cout << table.render();
+  const double run_ms_total = ms_since(run_start);
+  std::cout << "\nBENCH-SPLIT build_ms=" << static_cast<std::uint64_t>(build_ms)
+            << " run_ms=" << static_cast<std::uint64_t>(run_ms_total) << "\n";
+  if (!all_clean_valid) {
+    std::cerr << "FAULT-SCALING FAILURE: a fault-free run produced an "
+                 "invalid MIS\n";
+    return 1;
+  }
+  if (!churn_valid) {
+    std::cerr << "FAULT-SCALING FAILURE: churn repair left an invalid MIS "
+                 "on the alive subgraph\n";
+    return 1;
+  }
+  return 0;
+}

@@ -60,7 +60,7 @@ int main() {
       const Graph g = gen::gnp_avg_degree(n, 8.0, rng);
       core::RecursionTrace trace;
       const auto run = analysis::run_mis(analysis::MisEngine::kFastSleeping, g,
-                                         200 + s, &trace);
+                                         200 + s, {.trace = &trace});
       base_pop += static_cast<double>(trace.z_by_level()[0]);
       makespan = run.worst_rounds;
     }

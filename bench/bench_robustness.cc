@@ -13,6 +13,7 @@
 #include "core/sleeping_mis.h"
 #include "algos/greedy.h"
 #include "algos/luby.h"
+#include "fault/fault.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 
@@ -27,8 +28,10 @@ double validity_rate(const sim::Protocol& protocol, double loss) {
   for (std::uint32_t s = 0; s < kSeeds; ++s) {
     Rng rng(10 + s);
     const Graph g = gen::gnp_avg_degree(kN, 6.0, rng);
+    fault::FaultPlan plan;
+    plan.loss_prob = loss;
     sim::NetworkOptions options;
-    options.message_loss_prob = loss;
+    options.fault = &plan;
     sim::Network net(g, 50 + s, options);
     net.run(protocol);
     valid += analysis::check_mis(g, net.outputs()).ok() ? 1 : 0;

@@ -119,14 +119,14 @@ int main(int argc, char** argv) {
         for (std::uint32_t s = 0; s < kSeeds; ++s) {
           const std::uint64_t seed = analysis::trial_seed(1000 + n, s);
           const Graph g = gen::make(family, n, seed, make_options);
-          runs.push_back(
-              analysis::run_mis(engine, g, seed, nullptr, exec, &bulk_pool));
+          runs.push_back(analysis::run_mis(
+              engine, g, seed, {.exec = exec, .pool = &bulk_pool}));
         }
         agg = analysis::aggregate_runs(runs);
       } else {
         agg = analysis::aggregate_mis(
             engine, analysis::graph_factory(family, n, make_options),
-            1000 + n, kSeeds, 0, exec);
+            1000 + n, kSeeds, {.exec = exec});
       }
       if (agg.invalid_runs > 0) {
         std::cerr << "invalid runs at n=" << n << "\n";

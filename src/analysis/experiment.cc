@@ -12,6 +12,8 @@
 #include "bulk/sleeping_mis.h"
 #include "core/fast_sleeping_mis.h"
 #include "core/sleeping_mis.h"
+#include "fault/churn.h"
+#include "fault/fault.h"
 #include "sim/network.h"
 
 namespace slumber::analysis {
@@ -131,28 +133,69 @@ MisRun finish_run(MisEngine engine, const Graph& g, std::uint64_t seed,
 }  // namespace
 
 MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
-               core::RecursionTrace* trace, ExecEngine exec,
-               util::ThreadPool* bulk_pool) {
-  if (exec == ExecEngine::kBulk) {
-    auto protocol = bulk::bulk_mis_protocol(engine, trace);
+               const RunOptions& opts) {
+  const bool churn = opts.fault != nullptr && opts.fault->churn.enabled();
+  if (opts.exec == ExecEngine::kBulk) {
+    auto protocol = bulk::bulk_mis_protocol(engine, opts.trace);
     if (protocol == nullptr) {
       throw std::invalid_argument("run_mis: engine " + engine_name(engine) +
                                   " has no bulk implementation");
     }
     bulk::BulkOptions options;
     options.max_message_bits = sim::congest_bits_for(g.num_vertices());
-    options.pool = bulk_pool;
+    options.pool = opts.pool;
+    options.fault = opts.fault;
+    options.node_metrics = opts.node_metrics;
+    options.first_touch = opts.first_touch;
     bulk::BulkResult result = bulk::run_bulk(g, seed, *protocol, options);
-    return finish_run(engine, g, seed, std::move(result.metrics),
-                      std::move(result.outputs));
+    if (!churn && result.crashed.empty()) {
+      return finish_run(engine, g, seed, std::move(result.metrics),
+                        std::move(result.outputs));
+    }
+    const VertexId n = g.num_vertices();
+    std::vector<std::uint8_t> alive(n, 1);
+    if (!result.crashed.empty()) {
+      for (VertexId v = 0; v < n; ++v) {
+        alive[v] = result.crashed[v] != 0 ? 0 : 1;
+      }
+    }
+    bool churn_valid = false;
+    if (churn) {
+      // Long-running trial: after the protocol converges, nodes leave
+      // and join in batches; each batch is followed by an incremental
+      // MIS repair. The fault seed matches the engine's, so the whole
+      // experiment is one deterministic function of (plan, seed).
+      const fault::FaultState fs(opts.fault, seed, n);
+      const fault::ChurnReport report = fault::run_churn(
+          g, opts.fault->churn, fs.seed(), alive, result.outputs, opts.pool);
+      result.metrics.churn_batches = report.batches;
+      result.metrics.churn_leaves = report.leaves;
+      result.metrics.churn_joins = report.joins;
+      result.metrics.churn_repair_rounds = report.repair_rounds;
+      churn_valid = report.valid;
+    }
+    MisRun run = finish_run(engine, g, seed, std::move(result.metrics),
+                            std::move(result.outputs));
+    run.alive = std::move(alive);
+    // With dead nodes the full-graph check is vacuously broken; report
+    // whether the surviving output is a correct MIS of the survivors'
+    // subgraph instead (under crashes it may legitimately not be — that
+    // is the injected damage churn's initial repair would fix).
+    run.valid = churn ? churn_valid
+                      : fault::check_alive_mis(g, run.alive, run.outputs,
+                                               opts.pool);
+    return run;
+  }
+  if (churn) {
+    throw std::invalid_argument("run_mis: churn requires the bulk engine");
   }
   sim::Protocol protocol;
   switch (engine) {
     case MisEngine::kSleeping:
-      protocol = core::sleeping_mis({}, trace);
+      protocol = core::sleeping_mis({}, opts.trace);
       break;
     case MisEngine::kFastSleeping:
-      protocol = core::fast_sleeping_mis({}, trace);
+      protocol = core::fast_sleeping_mis({}, opts.trace);
       break;
     case MisEngine::kLubyA:
       protocol = algos::luby_a();
@@ -172,8 +215,19 @@ MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
 
   sim::NetworkOptions options;
   options.max_message_bits = sim::congest_bits_for(g.num_vertices());
+  options.fault = opts.fault;
   auto [metrics, outputs] = sim::run_protocol(g, seed, protocol, options);
-  return finish_run(engine, g, seed, std::move(metrics), std::move(outputs));
+  MisRun run =
+      finish_run(engine, g, seed, std::move(metrics), std::move(outputs));
+  if (opts.fault != nullptr && opts.fault->has_crashes()) {
+    const VertexId n = g.num_vertices();
+    run.alive.assign(n, 1);
+    for (VertexId v = 0; v < n; ++v) {
+      if (run.metrics.node[v].crashed) run.alive[v] = 0;
+    }
+    run.valid = fault::check_alive_mis(g, run.alive, run.outputs);
+  }
+  return run;
 }
 
 std::function<Graph(std::uint64_t)> graph_factory(gen::Family family,

@@ -20,6 +20,10 @@ namespace slumber::util {
 class ThreadPool;
 }  // namespace slumber::util
 
+namespace slumber::fault {
+struct FaultPlan;
+}  // namespace slumber::fault
+
 namespace slumber::analysis {
 
 using algos::MisEngine;
@@ -48,6 +52,42 @@ bool exec_engine_from_name(const std::string& name, ExecEngine* out);
 /// True iff `engine` can run on the bulk execution engine.
 bool engine_supports_bulk(MisEngine engine);
 
+/// Everything that configures how an experiment executes, as one
+/// designated-initializer-friendly bundle. This is the only way to
+/// steer run_mis / run_trials / aggregate_mis — there are no positional
+/// trailing parameters. Typical use:
+///
+///   run_mis(engine, g, seed, {.exec = ExecEngine::kBulk, .pool = &pool});
+///   run_trials(engine, factory, seed, 20, {.num_threads = 8});
+struct RunOptions {
+  /// Execution back end for every trial.
+  ExecEngine exec = ExecEngine::kCoroutine;
+  /// Trial-level lanes for run_trials / aggregate_mis
+  /// (0 = default_trial_threads()). Ignored by run_mis.
+  unsigned num_threads = 0;
+  /// Shards each bulk trial's per-round node scans over the pool's
+  /// lanes (intra-trial parallelism; results are bitwise identical for
+  /// every lane count). Ignored by the coroutine back end. run_trials
+  /// forwards it to trials only when num_threads == 1 (serial trials);
+  /// otherwise the lanes are spent on trial-level sharding.
+  util::ThreadPool* pool = nullptr;
+  /// When non-null and the engine is one of the sleeping algorithms,
+  /// collects the recursion trace. run_trials ignores it (a shared
+  /// trace cannot take concurrent trials).
+  core::RecursionTrace* trace = nullptr;
+  /// Failure injection (fault/fault.h): crash schedules, probabilistic
+  /// crashes, message loss, churn. Borrowed; must outlive the run.
+  /// Churn requires the bulk back end (run_mis throws otherwise); the
+  /// other fault kinds work on both and inject bitwise-identical
+  /// faults.
+  const fault::FaultPlan* fault = nullptr;
+  /// Bulk back end only: collect per-node metrics (awake rounds,
+  /// finish rounds). Off saves 2 words/node at 10^8 scale.
+  bool node_metrics = true;
+  /// Bulk back end only: first-touch placement of hot per-node arrays.
+  bool first_touch = false;
+};
+
 /// One run's results: the four measures of the paper's Table 1 plus
 /// bookkeeping.
 struct MisRun {
@@ -62,20 +102,23 @@ struct MisRun {
   std::uint64_t total_messages = 0;
   sim::Metrics metrics;             // full per-node data
   std::vector<std::int64_t> outputs;
+  /// Per-node liveness after the run: 0 = crashed or churned out.
+  /// Empty when the run had no crash faults and no churn. When
+  /// non-empty, `valid` means `outputs` restricted to alive nodes is a
+  /// correct MIS of the alive-induced subgraph (under churn: checked
+  /// after the final repair; under crashes alone the damage is left in
+  /// place, so `valid` honestly reports whether the survivors' output
+  /// still forms an MIS of their subgraph).
+  std::vector<std::uint8_t> alive;
 };
 
 /// Runs `engine` on `g`; enforces the CONGEST budget; verifies the MIS.
-/// If `trace` is non-null and the engine is one of the sleeping
-/// algorithms, the recursion trace is collected. `exec` selects the
-/// execution back end; throws std::invalid_argument when the engine has
-/// no bulk implementation. `bulk_pool`, when non-null and exec is
-/// kBulk, shards the trial's per-round node scans over the pool's lanes
-/// (intra-trial parallelism; results are bitwise identical for every
-/// lane count). Ignored by the coroutine back end.
+/// Execution back end, thread pool, trace sink, fault plan, and metric
+/// toggles all ride in `opts`. Throws std::invalid_argument when the
+/// engine has no bulk implementation or when opts asks for churn on the
+/// coroutine back end.
 MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
-               core::RecursionTrace* trace = nullptr,
-               ExecEngine exec = ExecEngine::kCoroutine,
-               util::ThreadPool* bulk_pool = nullptr);
+               const RunOptions& opts = {});
 
 /// Seed-averaged measures for one (engine, graph-generator) cell.
 struct AggregateRun {
@@ -103,17 +146,16 @@ inline std::uint64_t trial_seed(std::uint64_t base_seed, std::uint32_t trial) {
 
 /// Runs `num_seeds` independent trials of `engine` on graphs produced by
 /// `make_graph` (called with the trial seed), sharded across
-/// `num_threads` lanes (0 = default_trial_threads()). The returned runs
-/// are ordered by trial index and bitwise identical for every thread
-/// count, including the fully serial num_threads = 1. `exec` selects the
-/// execution back end for every trial; each bulk trial runs its scans
-/// serially here (the lanes are spent on trial-level sharding — for
-/// intra-trial sharding of one huge trial, call run_mis with a pool).
+/// `opts.num_threads` trial lanes (0 = default_trial_threads()). The
+/// returned runs are ordered by trial index and bitwise identical for
+/// every thread count, including the fully serial num_threads = 1.
+/// When opts.num_threads == 1 the trials run serially and opts.pool is
+/// forwarded to each trial for intra-trial sharding; with concurrent
+/// trials the pool is withheld (the lanes are already spent).
 template <typename GraphFactory>
 std::vector<MisRun> run_trials(MisEngine engine, const GraphFactory& make_graph,
                                std::uint64_t base_seed, std::uint32_t num_seeds,
-                               unsigned num_threads = 0,
-                               ExecEngine exec = ExecEngine::kCoroutine);
+                               const RunOptions& opts = {});
 
 /// Reduces a trial-ordered run sequence into the seed-averaged measures.
 /// Deterministic: iterates in sequence order.
@@ -122,12 +164,10 @@ AggregateRun aggregate_runs(const std::vector<MisRun>& runs);
 
 /// Runs `engine` `num_seeds` times on graphs produced by `make_graph`
 /// and aggregates; equivalent to aggregate_runs(run_trials(...)).
-/// Trials are sharded across `num_threads` lanes (0 = default).
 template <typename GraphFactory>
 AggregateRun aggregate_mis(MisEngine engine, const GraphFactory& make_graph,
                            std::uint64_t base_seed, std::uint32_t num_seeds,
-                           unsigned num_threads = 0,
-                           ExecEngine exec = ExecEngine::kCoroutine);
+                           const RunOptions& opts = {});
 
 /// The factory the sweep-style runners hand to run_trials /
 /// aggregate_mis: trial seed -> gen::make(family, n, seed, options).

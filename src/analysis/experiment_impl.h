@@ -9,21 +9,28 @@ namespace slumber::analysis {
 template <typename GraphFactory>
 std::vector<MisRun> run_trials(MisEngine engine, const GraphFactory& make_graph,
                                std::uint64_t base_seed, std::uint32_t num_seeds,
-                               unsigned num_threads, ExecEngine exec) {
-  return parallel_trials(num_seeds, num_threads, [&](std::size_t i) {
+                               const RunOptions& opts) {
+  RunOptions trial_opts = opts;
+  trial_opts.trace = nullptr;  // one trace cannot take concurrent trials
+  // With concurrent trials the lanes are already spent on trial-level
+  // sharding; a nested same-pool scan would only run inline. Serial
+  // trials (num_threads == 1) forward the pool so one huge trial can
+  // still shard its per-round scans.
+  if (opts.num_threads != 1) trial_opts.pool = nullptr;
+  return parallel_trials(num_seeds, opts.num_threads, [&](std::size_t i) {
     const std::uint64_t seed =
         trial_seed(base_seed, static_cast<std::uint32_t>(i));
     const Graph g = make_graph(seed);
-    return run_mis(engine, g, seed, nullptr, exec);
+    return run_mis(engine, g, seed, trial_opts);
   });
 }
 
 template <typename GraphFactory>
 AggregateRun aggregate_mis(MisEngine engine, const GraphFactory& make_graph,
                            std::uint64_t base_seed, std::uint32_t num_seeds,
-                           unsigned num_threads, ExecEngine exec) {
+                           const RunOptions& opts) {
   return aggregate_runs(
-      run_trials(engine, make_graph, base_seed, num_seeds, num_threads, exec));
+      run_trials(engine, make_graph, base_seed, num_seeds, opts));
 }
 
 }  // namespace slumber::analysis

@@ -1,0 +1,113 @@
+#include "analysis/trial_spec.h"
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "util/parse.h"
+
+namespace slumber::analysis {
+namespace {
+
+/// True iff flag i is followed by a value token.
+bool flag_value(const std::vector<std::string>& args, std::size_t i,
+                const char* flag, std::ostream& err) {
+  if (i + 1 < args.size()) return true;
+  err << "error: " << flag << " needs a value\n";
+  return false;
+}
+
+}  // namespace
+
+bool parse_trial_flags(std::vector<std::string>* args, TrialSpec* spec,
+                       std::ostream& err) {
+  std::vector<std::string>& a = *args;
+  std::vector<std::string> rest;
+  rest.reserve(a.size());
+  bool batches_given = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string& flag = a[i];
+    if (flag == "--threads") {
+      if (!flag_value(a, i, "--threads", err)) return false;
+      std::uint64_t threads = 0;
+      if (!util::parse_uint(a[++i], "--threads", &threads, 1,
+                            std::numeric_limits<unsigned>::max(), err)) {
+        return false;
+      }
+      spec->threads = static_cast<unsigned>(threads);
+    } else if (flag == "--engine") {
+      if (!flag_value(a, i, "--engine", err)) return false;
+      if (!exec_engine_from_name(a[++i], &spec->exec)) {
+        err << "error: unknown --engine '" << a[i]
+            << "'; valid back ends: coroutine bulk\n";
+        return false;
+      }
+    } else if (flag == "--gen") {
+      if (!flag_value(a, i, "--gen", err)) return false;
+      if (!gen::schedule_from_name(a[++i], &spec->schedule)) {
+        err << "error: unknown --gen '" << a[i] << "'; valid generators:";
+        for (const gen::Schedule schedule : gen::all_schedules()) {
+          err << ' ' << gen::schedule_name(schedule);
+        }
+        err << '\n';
+        return false;
+      }
+    } else if (flag == "--crash") {
+      if (!flag_value(a, i, "--crash", err)) return false;
+      const std::string& token = a[++i];
+      const std::size_t at = token.find('@');
+      if (at == std::string::npos) {
+        err << "error: --crash: '" << token
+            << "' is not NODE@ROUND (e.g. --crash 17@40)\n";
+        return false;
+      }
+      std::uint64_t node = 0;
+      std::uint64_t round = 0;
+      if (!util::parse_uint(token.substr(0, at), "--crash node", &node, 0,
+                            std::numeric_limits<VertexId>::max(), err) ||
+          !util::parse_uint(token.substr(at + 1), "--crash round", &round, 0,
+                            std::numeric_limits<std::uint64_t>::max(), err)) {
+        return false;
+      }
+      spec->fault.crash_schedule.push_back(
+          {static_cast<VertexId>(node), round});
+    } else if (flag == "--loss") {
+      if (!flag_value(a, i, "--loss", err)) return false;
+      if (!util::parse_prob(a[++i], "--loss", &spec->fault.loss_prob, err)) {
+        return false;
+      }
+    } else if (flag == "--churn") {
+      if (!flag_value(a, i, "--churn", err)) return false;
+      double rate = 0.0;
+      if (!util::parse_prob(a[++i], "--churn", &rate, err)) return false;
+      spec->fault.churn.leave_prob = rate;
+      spec->fault.churn.join_prob = rate;
+    } else if (flag == "--churn-batches") {
+      if (!flag_value(a, i, "--churn-batches", err)) return false;
+      std::uint64_t batches = 0;
+      if (!util::parse_uint(a[++i], "--churn-batches", &batches, 1,
+                            std::numeric_limits<std::uint32_t>::max(), err)) {
+        return false;
+      }
+      spec->fault.churn.batches = static_cast<std::uint32_t>(batches);
+      batches_given = true;
+    } else {
+      rest.push_back(std::move(a[i]));
+    }
+  }
+  // `--churn P` alone means "some churn": default to 4 batches.
+  if ((spec->fault.churn.leave_prob > 0.0 ||
+       spec->fault.churn.join_prob > 0.0) &&
+      !batches_given) {
+    spec->fault.churn.batches = 4;
+  }
+  if (spec->fault.churn.enabled() && spec->exec != ExecEngine::kBulk) {
+    err << "error: --churn needs the bulk back end's alive mask; "
+           "add --engine bulk\n";
+    return false;
+  }
+  a = std::move(rest);
+  return true;
+}
+
+}  // namespace slumber::analysis

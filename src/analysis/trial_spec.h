@@ -1,0 +1,63 @@
+// The one command-line vocabulary every experiment front end shares.
+//
+// A TrialSpec bundles what used to be scattered per-tool flag handling:
+// the execution back end (--engine), the G(n, p) seed schedule (--gen),
+// the lane count (--threads), and the fault plan (--crash v@r, --loss p,
+// --churn rate, --churn-batches k). parse_trial_flags() consumes those
+// flags — wherever they appear — from an argument vector and leaves the
+// tool's own positional arguments behind, so the CLI's run / sweep /
+// beep commands and the bench front ends all accept the identical
+// grammar with the identical diagnostics (full-token std::from_chars
+// validation; unknown values are rejected with the list of valid
+// names).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "fault/fault.h"
+#include "graph/generators.h"
+
+namespace slumber::analysis {
+
+/// Parsed shared flags. `fault` is owned here; hand experiment calls
+/// `fault_or_null()` so a fault-free spec costs the engines nothing.
+struct TrialSpec {
+  ExecEngine exec = ExecEngine::kCoroutine;
+  gen::Schedule schedule = gen::Schedule::kLegacy;
+  /// --threads lane count; 0 = all hardware threads.
+  unsigned threads = 0;
+  fault::FaultPlan fault;
+
+  const fault::FaultPlan* fault_or_null() const {
+    return fault.empty() ? nullptr : &fault;
+  }
+
+  /// The RunOptions this spec configures (trial-level threads ride in
+  /// RunOptions::num_threads only where the caller wants them; run_mis
+  /// ignores that field, so it is left 0 here).
+  RunOptions run_options(util::ThreadPool* pool = nullptr) const {
+    return {.exec = exec, .pool = pool, .fault = fault_or_null()};
+  }
+};
+
+/// Consumes every recognized shared flag from `args` (in place, any
+/// position) into `spec`. Returns false after printing a diagnostic to
+/// `err` on malformed or out-of-range values, unknown --engine/--gen
+/// names, or a churn request on the coroutine back end (churn repair
+/// needs the bulk engine's alive mask — say `--engine bulk`).
+///
+///   --threads N         lane count (>= 1)
+///   --engine NAME       coroutine | bulk
+///   --gen NAME          generation schedule (gen::all_schedules())
+///   --crash V@R         fail-stop node V at round R (repeatable)
+///   --loss P            per-link-per-round symmetric message loss
+///   --churn P           per-batch leave/rejoin probability; implies 4
+///                       batches unless --churn-batches is given
+///   --churn-batches K   number of churn batches (>= 1)
+bool parse_trial_flags(std::vector<std::string>* args, TrialSpec* spec,
+                       std::ostream& err = std::cerr);
+
+}  // namespace slumber::analysis

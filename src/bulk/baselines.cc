@@ -50,12 +50,18 @@ void BulkLubyA::run(BulkEngine& eng) {
   std::vector<VertexId> alive = all_vertices(n);
   std::vector<std::uint64_t> priority(n, 0);
   std::vector<std::uint8_t> win(n, 0);
+  const bool crashy = eng.crashy();
+  const bool lossy = eng.lossy();
   VirtualRound round = 0;
 
   for (std::uint64_t iteration = 0; iteration < cap && !alive.empty();
        ++iteration) {
     // Round 1: fresh priorities; strict local maxima win.
     ++round;
+    if (crashy) {
+      alive = eng.apply_crashes(std::move(alive), round);
+      if (alive.empty()) break;
+    }
     eng.mark_awake(alive);
     eng.charge_round(alive, round);
     eng.scan_awake(alive,
@@ -68,34 +74,46 @@ void BulkLubyA::run(BulkEngine& eng) {
                               std::span<const VertexId> part) {
       for (const VertexId v : part) {
         std::uint64_t awake_nbrs = 0;
+        std::uint64_t heard = 0;
         bool w = true;
         for (const VertexId u : g.neighbors(v)) {
           if (!eng.is_awake(u)) continue;
           ++awake_nbrs;
+          if (lossy && !eng.link_up(v, u, round)) continue;
+          ++heard;
           if (priority_beats(priority[u], u, priority[v], v)) w = false;
         }
-        chunk.charge_symmetric_broadcast(v, awake_nbrs, rank_msg_bits);
+        chunk.charge_symmetric_broadcast(v, awake_nbrs, heard, rank_msg_bits);
         win[v] = w ? 1 : 0;
       }
     });
 
     // Round 2: winners announce and join; dominated neighbors exit.
     ++round;
+    if (crashy) {
+      alive = eng.apply_crashes(std::move(alive), round);
+      eng.mark_awake(alive);  // awake set shrank
+    }
     eng.charge_round(alive, round);
     alive = eng.scan_awake(
                    alive,
                    [&](BulkChunk& chunk, std::span<const VertexId> part) {
                      for (const VertexId v : part) {
                        std::uint64_t awake_nbrs = 0;
+                       std::uint64_t delivered_out = 0;
                        std::uint64_t winners_adjacent = 0;
                        for (const VertexId u : g.neighbors(v)) {
                          if (!eng.is_awake(u)) continue;
                          ++awake_nbrs;
+                         // One symmetric draw decides both directions.
+                         if (lossy && !eng.link_up(v, u, round)) continue;
+                         ++delivered_out;
                          winners_adjacent += win[u];
                        }
                        if (win[v] != 0) {
-                         chunk.charge_send(v, g.degree(v), awake_nbrs,
-                                           in_mis_bits);
+                         chunk.charge_send(v, g.degree(v), delivered_out,
+                                           in_mis_bits,
+                                           awake_nbrs - delivered_out);
                        }
                        chunk.charge_received(v, winners_adjacent);
                        if (win[v] != 0) {
@@ -133,24 +151,34 @@ void BulkLubyB::run(BulkEngine& eng) {
   std::vector<std::uint64_t> active_deg(n, 0);
   std::vector<std::uint8_t> marked(n, 0);
   std::vector<std::uint8_t> win(n, 0);
+  const bool crashy = eng.crashy();
+  const bool lossy = eng.lossy();
   VirtualRound round = 0;
 
   for (std::uint64_t iteration = 0; iteration < cap && !alive.empty();
        ++iteration) {
     // Round 1: probe active degree; mark w.p. 1/(2d) (isolated nodes
-    // mark outright, drawing nothing — note the short-circuit).
+    // mark outright, drawing nothing — note the short-circuit). Under
+    // loss the degree estimate is the hello count actually heard.
     ++round;
+    if (crashy) {
+      alive = eng.apply_crashes(std::move(alive), round);
+      if (alive.empty()) break;
+    }
     eng.mark_awake(alive);
     eng.charge_round(alive, round);
     eng.scan_awake(alive, [&](BulkChunk& chunk,
                               std::span<const VertexId> part) {
       for (const VertexId v : part) {
         std::uint64_t awake_nbrs = 0;
+        std::uint64_t heard = 0;
         for (const VertexId u : g.neighbors(v)) {
-          awake_nbrs += eng.is_awake(u) ? 1 : 0;
+          if (!eng.is_awake(u)) continue;
+          ++awake_nbrs;
+          if (!lossy || eng.link_up(v, u, round)) ++heard;
         }
-        active_deg[v] = awake_nbrs;
-        chunk.charge_symmetric_broadcast(v, awake_nbrs, hello_bits);
+        active_deg[v] = heard;
+        chunk.charge_symmetric_broadcast(v, awake_nbrs, heard, hello_bits);
       }
     });
     eng.scan_awake(
@@ -166,21 +194,32 @@ void BulkLubyB::run(BulkEngine& eng) {
 
     // Round 2: marked nodes exchange (degree, id); beaten marks unmark.
     ++round;
+    if (crashy) {
+      alive = eng.apply_crashes(std::move(alive), round);
+      eng.mark_awake(alive);
+    }
     eng.charge_round(alive, round);
     eng.scan_awake(alive, [&](BulkChunk& chunk,
                               std::span<const VertexId> part) {
       for (const VertexId v : part) {
+        std::uint64_t awake_nbrs = 0;
+        std::uint64_t delivered_out = 0;
         std::uint64_t marked_adjacent = 0;
         bool w = marked[v] != 0;
         for (const VertexId u : g.neighbors(v)) {
-          if (!eng.is_awake(u) || marked[u] == 0) continue;
+          if (!eng.is_awake(u)) continue;
+          ++awake_nbrs;
+          if (lossy && !eng.link_up(v, u, round)) continue;
+          ++delivered_out;
+          if (marked[u] == 0) continue;
           ++marked_adjacent;
           if (w && priority_beats(active_deg[u], u, active_deg[v], v)) {
             w = false;
           }
         }
         if (marked[v] != 0) {
-          chunk.charge_send(v, g.degree(v), active_deg[v], mark_bits);
+          chunk.charge_send(v, g.degree(v), delivered_out, mark_bits,
+                            awake_nbrs - delivered_out);
         }
         chunk.charge_received(v, marked_adjacent);
         win[v] = w ? 1 : 0;
@@ -189,18 +228,29 @@ void BulkLubyB::run(BulkEngine& eng) {
 
     // Round 3: winners announce and join; dominated neighbors exit.
     ++round;
+    if (crashy) {
+      alive = eng.apply_crashes(std::move(alive), round);
+      eng.mark_awake(alive);
+    }
     eng.charge_round(alive, round);
     alive = eng.scan_awake(
                    alive,
                    [&](BulkChunk& chunk, std::span<const VertexId> part) {
                      for (const VertexId v : part) {
+                       std::uint64_t awake_nbrs = 0;
+                       std::uint64_t delivered_out = 0;
                        std::uint64_t winners_adjacent = 0;
                        for (const VertexId u : g.neighbors(v)) {
-                         if (eng.is_awake(u)) winners_adjacent += win[u];
+                         if (!eng.is_awake(u)) continue;
+                         ++awake_nbrs;
+                         if (lossy && !eng.link_up(v, u, round)) continue;
+                         ++delivered_out;
+                         winners_adjacent += win[u];
                        }
                        if (win[v] != 0) {
-                         chunk.charge_send(v, g.degree(v), active_deg[v],
-                                           in_mis_bits);
+                         chunk.charge_send(v, g.degree(v), delivered_out,
+                                           in_mis_bits,
+                                           awake_nbrs - delivered_out);
                        }
                        chunk.charge_received(v, winners_adjacent);
                        if (win[v] != 0) {
@@ -245,44 +295,61 @@ void BulkGreedy::run(BulkEngine& eng) {
   });
   std::vector<VertexId> alive = all_vertices(n);
   std::vector<std::uint8_t> win(n, 0);
+  const bool crashy = eng.crashy();
+  const bool lossy = eng.lossy();
   VirtualRound round = 0;
 
   for (std::uint64_t iteration = 0; iteration < cap && !alive.empty();
        ++iteration) {
     ++round;
+    if (crashy) {
+      alive = eng.apply_crashes(std::move(alive), round);
+      if (alive.empty()) break;
+    }
     eng.mark_awake(alive);
     eng.charge_round(alive, round);
     eng.scan_awake(alive, [&](BulkChunk& chunk,
                               std::span<const VertexId> part) {
       for (const VertexId v : part) {
         std::uint64_t awake_nbrs = 0;
+        std::uint64_t heard = 0;
         bool w = true;
         for (const VertexId u : g.neighbors(v)) {
           if (!eng.is_awake(u)) continue;
           ++awake_nbrs;
+          if (lossy && !eng.link_up(v, u, round)) continue;
+          ++heard;
           if (priority_beats(rank[u], u, rank[v], v)) w = false;
         }
-        chunk.charge_symmetric_broadcast(v, awake_nbrs, rank_msg_bits);
+        chunk.charge_symmetric_broadcast(v, awake_nbrs, heard, rank_msg_bits);
         win[v] = w ? 1 : 0;
       }
     });
 
     ++round;
+    if (crashy) {
+      alive = eng.apply_crashes(std::move(alive), round);
+      eng.mark_awake(alive);
+    }
     eng.charge_round(alive, round);
     alive = eng.scan_awake(
                    alive,
                    [&](BulkChunk& chunk, std::span<const VertexId> part) {
                      for (const VertexId v : part) {
                        std::uint64_t awake_nbrs = 0;
+                       std::uint64_t delivered_out = 0;
                        std::uint64_t winners_adjacent = 0;
                        for (const VertexId u : g.neighbors(v)) {
                          if (!eng.is_awake(u)) continue;
                          ++awake_nbrs;
+                         if (lossy && !eng.link_up(v, u, round)) continue;
+                         ++delivered_out;
                          winners_adjacent += win[u];
                        }
                        if (win[v] != 0) {
-                         chunk.charge_send(v, g.degree(v), awake_nbrs,
-                                           in_mis_bits);
+                         chunk.charge_send(v, g.degree(v), delivered_out,
+                                           in_mis_bits,
+                                           awake_nbrs - delivered_out);
                        }
                        chunk.charge_received(v, winners_adjacent);
                        if (win[v] != 0) {
@@ -322,6 +389,12 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
   std::vector<VertexId> target(n, kInvalidVertex);
   std::vector<std::int64_t> partner(n, -1);
   std::vector<std::uint32_t> recv(n, 0);
+  // Whether v's round-1 proposal actually arrived (captures both the
+  // target's awake status and the round-1 link draw) — the acceptor
+  // consults this instead of re-deriving last round's delivery.
+  std::vector<std::uint8_t> sent_ok(n, 0);
+  const bool crashy = eng.crashy();
+  const bool lossy = eng.lossy();
   VirtualRound round = 0;
 
   for (std::uint64_t iteration = 0; iteration < cap && !alive.empty();
@@ -370,6 +443,10 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
     // target one acceptor, so the receive tallies go through relaxed
     // atomic increments (an order-free integer sum).
     ++round;
+    if (crashy) {
+      alive = eng.apply_crashes(std::move(alive), round);
+      if (alive.empty()) break;
+    }
     eng.mark_awake(alive);
     eng.charge_round(alive, round);
     eng.scan_awake(alive, [&](BulkChunk&, std::span<const VertexId> part) {
@@ -380,8 +457,12 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
       for (const VertexId v : part) {
         if (proposer[v] == 0) continue;
         const VertexId t = target[v];
-        const bool delivered = eng.is_awake(t);
-        chunk.charge_send(v, 1, delivered ? 1 : 0, kIiBits);
+        const bool awake_t = eng.is_awake(t);
+        const bool delivered =
+            awake_t && (!lossy || eng.link_up(v, t, round));
+        sent_ok[v] = delivered ? 1 : 0;
+        chunk.charge_send(v, 1, delivered ? 1 : 0, kIiBits,
+                          (awake_t && !delivered) ? 1 : 0);
         if (delivered) {
           std::atomic_ref(recv[t]).fetch_add(1, std::memory_order_relaxed);
         }
@@ -396,6 +477,10 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
     // proposer and the acceptor become partners. A proposer targets
     // exactly one node, so partner[w] and recv[w] have a unique writer.
     ++round;
+    if (crashy) {
+      alive = eng.apply_crashes(std::move(alive), round);
+      eng.mark_awake(alive);
+    }
     eng.charge_round(alive, round);
     eng.scan_awake(alive, [&](BulkChunk&, std::span<const VertexId> part) {
       for (const VertexId v : part) recv[v] = 0;
@@ -407,13 +492,24 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
         const auto nbrs = g.neighbors(u);
         for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
           const VertexId w = nbrs[p];
-          if (eng.is_awake(w) && proposer[w] != 0 && target[w] == u) {
-            chunk.charge_send(u, 1, 1, kIiBits);
-            ++recv[w];
-            partner[u] = static_cast<std::int64_t>(w);
-            partner[w] = static_cast<std::int64_t>(u);
-            break;
+          // Answer the lowest-port proposal that actually arrived last
+          // round. The acceptor commits to the match when it sends;
+          // under faults the accept itself may be lost, leaving w
+          // unmatched (it will keep proposing) — realistic asymmetry.
+          if (proposer[w] == 0 || target[w] != u || sent_ok[w] == 0) {
+            continue;
           }
+          const bool awake_w = eng.is_awake(w);
+          const bool delivered =
+              awake_w && (!lossy || eng.link_up(u, w, round));
+          chunk.charge_send(u, 1, delivered ? 1 : 0, kIiBits,
+                            (awake_w && !delivered) ? 1 : 0);
+          partner[u] = static_cast<std::int64_t>(w);
+          if (delivered) {
+            ++recv[w];
+            partner[w] = static_cast<std::int64_t>(u);
+          }
+          break;
         }
       }
     });
@@ -425,6 +521,10 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
     // Round 3: matched nodes announce and terminate; the rest strike
     // announced neighbors from their active port sets.
     ++round;
+    if (crashy) {
+      alive = eng.apply_crashes(std::move(alive), round);
+      eng.mark_awake(alive);
+    }
     eng.charge_round(alive, round);
     alive =
         eng.scan_awake(
@@ -432,6 +532,7 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
                [&](BulkChunk& chunk, std::span<const VertexId> part) {
                  for (const VertexId v : part) {
                    std::uint64_t awake_nbrs = 0;
+                   std::uint64_t delivered_out = 0;
                    std::uint64_t matched_adjacent = 0;
                    const auto nbrs = g.neighbors(v);
                    const CsrOffset base = g.adjacency_offset(v);
@@ -439,6 +540,8 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
                      const VertexId u = nbrs[p];
                      if (!eng.is_awake(u)) continue;
                      ++awake_nbrs;
+                     if (lossy && !eng.link_up(v, u, round)) continue;
+                     ++delivered_out;
                      if (partner[u] >= 0) {
                        ++matched_adjacent;
                        if (partner[v] < 0 && port_active[base + p] != 0) {
@@ -448,7 +551,8 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
                      }
                    }
                    if (partner[v] >= 0) {
-                     chunk.charge_send(v, g.degree(v), awake_nbrs, kIiBits);
+                     chunk.charge_send(v, g.degree(v), delivered_out, kIiBits,
+                                       awake_nbrs - delivered_out);
                    }
                    chunk.charge_received(v, matched_adjacent);
                    if (partner[v] >= 0) {
@@ -488,6 +592,8 @@ void BulkBeepingMis::run(BulkEngine& eng) {
   std::vector<std::uint64_t> rank(n, 0);
   std::vector<std::uint8_t> contending(n, 0);
   std::vector<std::uint8_t> beeper(n, 0);
+  const bool crashy = eng.crashy();
+  const bool lossy = eng.lossy();
   VirtualRound round = 0;
 
   for (std::uint64_t phase = 0; phase < phase_cap && !alive.empty(); ++phase) {
@@ -507,6 +613,10 @@ void BulkBeepingMis::run(BulkEngine& eng) {
     // Bit auction, most significant bit first.
     for (std::uint32_t slot = 0; slot < total_bits; ++slot) {
       ++round;
+      if (crashy) {
+        alive = eng.apply_crashes(std::move(alive), round);
+        eng.mark_awake(alive);
+      }
       eng.charge_round(alive, round);
       const std::uint32_t bit_index = total_bits - 1 - slot;
       eng.scan_awake(alive, [&](BulkChunk&, std::span<const VertexId> part) {
@@ -520,14 +630,18 @@ void BulkBeepingMis::run(BulkEngine& eng) {
                                 std::span<const VertexId> part) {
         for (const VertexId v : part) {
           std::uint64_t awake_nbrs = 0;
+          std::uint64_t delivered_out = 0;
           std::uint64_t beeps_heard = 0;
           for (const VertexId u : g.neighbors(v)) {
             if (!eng.is_awake(u)) continue;
             ++awake_nbrs;
+            if (lossy && !eng.link_up(v, u, round)) continue;
+            ++delivered_out;
             beeps_heard += beeper[u];
           }
           if (beeper[v] != 0) {
-            chunk.charge_send(v, g.degree(v), awake_nbrs, beep_bits);
+            chunk.charge_send(v, g.degree(v), delivered_out, beep_bits,
+                              awake_nbrs - delivered_out);
           }
           chunk.charge_received(v, beeps_heard);
           // A beeping node cannot listen; only silent contenders drop
@@ -541,21 +655,29 @@ void BulkBeepingMis::run(BulkEngine& eng) {
 
     // Join slot: survivors beep-and-join; listeners that hear it exit.
     ++round;
+    if (crashy) {
+      alive = eng.apply_crashes(std::move(alive), round);
+      eng.mark_awake(alive);
+    }
     eng.charge_round(alive, round);
     alive = eng.scan_awake(
                    alive,
                    [&](BulkChunk& chunk, std::span<const VertexId> part) {
                      for (const VertexId v : part) {
                        std::uint64_t awake_nbrs = 0;
+                       std::uint64_t delivered_out = 0;
                        std::uint64_t joins_heard = 0;
                        for (const VertexId u : g.neighbors(v)) {
                          if (!eng.is_awake(u)) continue;
                          ++awake_nbrs;
+                         if (lossy && !eng.link_up(v, u, round)) continue;
+                         ++delivered_out;
                          joins_heard += contending[u];
                        }
                        if (contending[v] != 0) {
-                         chunk.charge_send(v, g.degree(v), awake_nbrs,
-                                           beep_bits);
+                         chunk.charge_send(v, g.degree(v), delivered_out,
+                                           beep_bits,
+                                           awake_nbrs - delivered_out);
                        }
                        chunk.charge_received(v, joins_heard);
                        if (contending[v] != 0) {

@@ -7,9 +7,14 @@
 namespace slumber::bulk {
 
 BulkEngine::BulkEngine(const Graph& g, std::uint64_t seed, BulkOptions options)
-    : graph_(g), options_(options), seed_(seed), master_(seed) {
+    : graph_(g),
+      options_(options),
+      seed_(seed),
+      master_(seed),
+      fault_(options.fault, seed, g.num_vertices()) {
   const VertexId n = g.num_vertices();
   if (options_.node_metrics) metrics_.node.resize(n);
+  if (fault_.has_crashes()) crashed_.assign(n, 0);
   outputs_.assign(n, -1);
   // With first_touch, each lane initializes (and so places) the slice
   // of the hot per-node arrays that parallel_for_range will hand it on
@@ -26,6 +31,7 @@ BulkEngine::BulkEngine(const Graph& g, std::uint64_t seed, BulkOptions options)
 void BulkEngine::merge_chunk(const BulkChunk& chunk) {
   metrics_.total_messages += chunk.total_messages_;
   metrics_.dropped_messages += chunk.dropped_messages_;
+  metrics_.injected_losses += chunk.injected_losses_;
   metrics_.congest_violations += chunk.congest_violations_;
   metrics_.max_message_bits_seen =
       std::max(metrics_.max_message_bits_seen, chunk.max_message_bits_seen_);
@@ -128,9 +134,10 @@ void BulkEngine::charge_round(std::span<const VertexId> awake,
 }
 
 void BulkEngine::charge_send(VertexId v, std::uint64_t attempted,
-                             std::uint64_t delivered, std::uint32_t bits) {
+                             std::uint64_t delivered, std::uint32_t bits,
+                             std::uint64_t lost) {
   BulkChunk chunk(this);
-  chunk.charge_send(v, attempted, delivered, bits);
+  chunk.charge_send(v, attempted, delivered, bits, lost);
   merge_chunk(chunk);
 }
 
@@ -160,6 +167,35 @@ void BulkEngine::finish(VertexId v, VirtualRound round) {
   merge_chunk(chunk);
 }
 
+std::vector<VertexId> BulkEngine::apply_crashes(std::vector<VertexId> awake,
+                                                VirtualRound round) {
+  if (!fault_.has_crashes() || awake.empty()) return awake;
+  const auto lo = static_cast<std::uint64_t>(round);
+  const auto hi = static_cast<std::uint64_t>(round >> 64);
+  ScanResult scan = scan_awake(
+      awake, [&](BulkChunk& chunk, std::span<const VertexId> part) {
+        for (const VertexId v : part) {
+          // Already-crashed nodes are dropped silently (defensive; a
+          // protocol that filters its sets never passes one).
+          if (crashed_[v] != 0) continue;
+          if (fault_.crashes_now(v, lo, hi)) {
+            crashed_[v] = 1;
+            if (options_.node_metrics) metrics_.node[v].crashed = true;
+            chunk.finish(v, round);
+            chunk.bump();
+          } else {
+            chunk.keep(v);
+          }
+        }
+      });
+  metrics_.crashed_nodes += scan.user;
+  // The coroutine scheduler counts a round whose wake bucket was
+  // non-empty as active even when every woken node crashes; the
+  // protocol's charge_round(empty set) would miss it.
+  if (scan.kept.empty()) ++metrics_.distinct_active_rounds;
+  return std::move(scan.kept);
+}
+
 BulkResult BulkEngine::take_result() {
   if (options_.node_metrics) {
     metrics_.makespan = 0;
@@ -173,6 +209,7 @@ BulkResult BulkEngine::take_result() {
   result.metrics = std::move(metrics_);
   result.outputs = std::move(outputs_);
   result.virtual_makespan = virtual_makespan_;
+  result.crashed = std::move(crashed_);
   return result;
 }
 

@@ -8,11 +8,12 @@
 // executed by iterating an explicit awake set over the graph's CSR
 // neighbor spans. Nothing is allocated per node-round.
 //
-// Semantics are the reliable (fault-free) sleeping model of
-// sim::Network, and the accounting is bitwise-compatible: a protocol
-// ported to this engine reproduces the coroutine engine's outputs and
-// sim::Metrics exactly (tests/bulk_engine_test.cc pins this). Fault
-// injection (crashes, message loss) stays coroutine-only.
+// Semantics are the sleeping model of sim::Network, and the accounting
+// is bitwise-compatible: a protocol ported to this engine reproduces
+// the coroutine engine's outputs and sim::Metrics exactly
+// (tests/bulk_engine_test.cc pins this) — including under a shared
+// fault::FaultPlan, whose keyed draws both engines evaluate to the
+// same bits (tests/fault_test.cc).
 //
 // Intra-trial parallelism: per-frame node scans are independent per
 // node, so when BulkOptions::pool is set, scan_awake() shards the awake
@@ -40,6 +41,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/fault.h"
 #include "graph/graph.h"
 #include "sim/metrics.h"
 #include "sim/network.h"  // sim::CongestViolation, congest_bits_for
@@ -85,6 +87,14 @@ struct BulkOptions {
   /// cores on NUMA machines). Placement only — contents and results
   /// are bitwise unaffected. No effect without a pool.
   bool first_touch = false;
+  /// Fault injection (fault/fault.h): crash schedules, probabilistic
+  /// crashes, and message loss. Borrowed; must outlive the run. Every
+  /// fault decision is a keyed util::stream_rng draw evaluated
+  /// chunk-locally and merged in chunk index order, so faulty runs stay
+  /// bitwise identical at every lane count and agree with the coroutine
+  /// scheduler under the same plan and seed. FaultPlan::churn is
+  /// applied by the experiment layer after the run, not here.
+  const fault::FaultPlan* fault = nullptr;
 };
 
 struct BulkResult {
@@ -92,6 +102,9 @@ struct BulkResult {
   std::vector<std::int64_t> outputs;
   /// Exact (un-saturated) makespan in virtual rounds.
   VirtualRound virtual_makespan = 0;
+  /// crashed[v] != 0 iff v fail-stopped during the run; empty when the
+  /// run had no crash faults configured.
+  std::vector<std::uint8_t> crashed;
 };
 
 class BulkEngine;
@@ -106,10 +119,12 @@ class BulkEngine;
 class BulkChunk {
  public:
   /// Sender-side accounting: v attempted `attempted` sends of a
-  /// `bits`-wide message, of which `delivered` reached awake nodes (the
-  /// rest are dropped, as the sleeping model specifies).
+  /// `bits`-wide message, of which `delivered` reached awake nodes and
+  /// `lost` were eaten by injected link loss on the way to awake nodes;
+  /// the rest are dropped (sleeping receivers, as the model specifies).
   void charge_send(VertexId v, std::uint64_t attempted,
-                   std::uint64_t delivered, std::uint32_t bits);
+                   std::uint64_t delivered, std::uint32_t bits,
+                   std::uint64_t lost = 0);
 
   /// Receiver-side accounting: v received `count` messages this round.
   void charge_received(VertexId v, std::uint64_t count);
@@ -118,6 +133,15 @@ class BulkChunk {
   /// broadcasts on all ports: v sends deg(v), of which `awake_neighbors`
   /// are delivered, and receives exactly `awake_neighbors` in turn.
   void charge_symmetric_broadcast(VertexId v, std::uint64_t awake_neighbors,
+                                  std::uint32_t bits);
+
+  /// Lossy symmetric broadcast: of v's `awake_neighbors` reachable
+  /// targets only `delivered` survived the link draws. Loss being
+  /// symmetric per link per round, v also hears exactly `delivered`
+  /// messages. Reduces to the reliable form when delivered ==
+  /// awake_neighbors.
+  void charge_symmetric_broadcast(VertexId v, std::uint64_t awake_neighbors,
+                                  std::uint64_t delivered,
                                   std::uint32_t bits);
 
   /// Records v's output and decision instant. Idempotent like
@@ -147,6 +171,7 @@ class BulkChunk {
   std::uint64_t user_ = 0;
   std::uint64_t total_messages_ = 0;
   std::uint64_t dropped_messages_ = 0;
+  std::uint64_t injected_losses_ = 0;
   std::uint64_t congest_violations_ = 0;
   std::uint32_t max_message_bits_seen_ = 0;
   VirtualRound virtual_makespan_ = 0;
@@ -213,12 +238,45 @@ class BulkEngine {
   /// `awake` (which must equal the currently marked set).
   void charge_round(std::span<const VertexId> awake, VirtualRound round);
 
+  // --- fault injection (fault/fault.h) ------------------------------
+
+  /// True iff the run's plan injects message loss / crashes. Protocols
+  /// hoist these so the fault-free hot loops stay branch-predictable.
+  bool lossy() const { return fault_.has_loss(); }
+  bool crashy() const { return fault_.has_crashes(); }
+
+  /// Is the undirected link {a, b} up at `round`? Symmetric keyed draw:
+  /// both directions, every lane, and the coroutine scheduler compute
+  /// the identical bit. Always true without a loss plan.
+  bool link_up(VertexId a, VertexId b, VirtualRound round) const {
+    return !fault_.link_down(a, b, static_cast<std::uint64_t>(round),
+                             static_cast<std::uint64_t>(round >> 64));
+  }
+
+  /// True iff v fail-stopped earlier in the run.
+  bool crashed(VertexId v) const {
+    return !crashed_.empty() && crashed_[v] != 0;
+  }
+
+  /// Crash-aware round prologue: evaluates the crash draw for every
+  /// node of `awake` at `round` and returns the survivors in input
+  /// order (order-preserving sharded filter). Crashed nodes are
+  /// fail-stopped: flagged, finish-stamped at the crash round, and
+  /// counted in Metrics::crashed_nodes. Call before mark_awake() /
+  /// charge_round() of every faulty round; a no-op pass-through when no
+  /// crash faults are configured. Matching the coroutine scheduler, a
+  /// round whose every awake node crashes still counts as a distinct
+  /// active round.
+  std::vector<VertexId> apply_crashes(std::vector<VertexId> awake,
+                                      VirtualRound round);
+
   // --- single-node accounting (serial convenience) ------------------
 
   /// One-node forms of the BulkChunk accounting methods, for serial
   /// protocol phases outside any scan.
   void charge_send(VertexId v, std::uint64_t attempted,
-                   std::uint64_t delivered, std::uint32_t bits);
+                   std::uint64_t delivered, std::uint32_t bits,
+                   std::uint64_t lost = 0);
   void charge_received(VertexId v, std::uint64_t count);
   void charge_symmetric_broadcast(VertexId v, std::uint64_t awake_neighbors,
                                   std::uint32_t bits);
@@ -263,19 +321,24 @@ class BulkEngine {
   util::PodVector<std::uint32_t> awake_epoch_;
   std::uint32_t epoch_ = 0;
   VirtualRound virtual_makespan_ = 0;
+  fault::FaultState fault_;
+  // crashed_[v] != 0 iff v fail-stopped; allocated only under a plan
+  // with crash faults (each slot is written by the lane owning v).
+  std::vector<std::uint8_t> crashed_;
 };
 
 // --- BulkChunk inline implementations --------------------------------
 
 inline void BulkChunk::charge_send(VertexId v, std::uint64_t attempted,
-                                   std::uint64_t delivered,
-                                   std::uint32_t bits) {
+                                   std::uint64_t delivered, std::uint32_t bits,
+                                   std::uint64_t lost) {
   if (attempted == 0) return;
   if (eng_->options_.node_metrics) {
     eng_->metrics_.node[v].messages_sent += attempted;
   }
   total_messages_ += delivered;
-  dropped_messages_ += attempted - delivered;
+  dropped_messages_ += attempted - delivered - lost;
+  injected_losses_ += lost;
   max_message_bits_seen_ = std::max(max_message_bits_seen_, bits);
   if (eng_->options_.max_message_bits != 0 &&
       bits > eng_->options_.max_message_bits) {
@@ -301,6 +364,15 @@ inline void BulkChunk::charge_symmetric_broadcast(VertexId v,
                                                   std::uint32_t bits) {
   charge_send(v, eng_->graph_.degree(v), awake_neighbors, bits);
   charge_received(v, awake_neighbors);
+}
+
+inline void BulkChunk::charge_symmetric_broadcast(VertexId v,
+                                                  std::uint64_t awake_neighbors,
+                                                  std::uint64_t delivered,
+                                                  std::uint32_t bits) {
+  charge_send(v, eng_->graph_.degree(v), delivered, bits,
+              awake_neighbors - delivered);
+  charge_received(v, delivered);
 }
 
 inline void BulkChunk::decide(VertexId v, std::int64_t output,

@@ -43,6 +43,10 @@ struct Walker {
   std::vector<std::uint8_t> value;  // MisValue per node
   std::uint32_t hello_bits;
   std::uint32_t status_bits;
+  // Fault flags hoisted once per run; the fault-free hot loops pay one
+  // predictable branch.
+  bool crashy = false;
+  bool lossy = false;
 
   bool coin(VertexId v, std::uint32_t i) const {
     return (bits[std::uint64_t{v} * words_per_node + i / 64] >> (i % 64)) & 1;
@@ -88,19 +92,24 @@ struct Walker {
     }
 
     // First isolated-node detection (lines 13-16), 1 round: only this
-    // frame's members are awake, so "no awake neighbor" means "isolated
-    // in G[U]".
+    // frame's members are awake, so hearing no hello means "isolated in
+    // G[U]" (under loss: effectively isolated this round).
+    if (crashy) members = eng.apply_crashes(std::move(members), start);
     eng.mark_awake(members);
     eng.charge_round(members, start);
     const ScanResult detect1 = eng.scan_awake(
         members, [&](BulkChunk& chunk, std::span<const VertexId> part) {
           for (const VertexId v : part) {
             std::uint64_t awake_nbrs = 0;
+            std::uint64_t heard = 0;
             for (const VertexId u : g.neighbors(v)) {
-              awake_nbrs += eng.is_awake(u) ? 1 : 0;
+              if (!eng.is_awake(u)) continue;
+              ++awake_nbrs;
+              if (!lossy || eng.link_up(v, u, start)) ++heard;
             }
-            chunk.charge_symmetric_broadcast(v, awake_nbrs, hello_bits);
-            if (awake_nbrs == 0 && value_of(v) == MisValue::kUnknown) {
+            chunk.charge_symmetric_broadcast(v, awake_nbrs, heard,
+                                             hello_bits);
+            if (heard == 0 && value_of(v) == MisValue::kUnknown) {
               set_value(v, MisValue::kTrue);
               chunk.decide(v, 1, start);
               chunk.bump();
@@ -139,19 +148,23 @@ struct Walker {
     // coroutine engine's message snapshot does — per lane as well as
     // serially.
     const VirtualRound sync = start + duration128(k - 1) + 1;
+    if (crashy) members = eng.apply_crashes(std::move(members), sync);
     eng.mark_awake(members);  // children bumped the epoch during the left call
     eng.charge_round(members, sync);
     eng.scan_awake(members, [&](BulkChunk& chunk,
                                 std::span<const VertexId> part) {
       for (const VertexId v : part) {
         std::uint64_t awake_nbrs = 0;
+        std::uint64_t heard = 0;
         bool mis_neighbor = false;
         for (const VertexId u : g.neighbors(v)) {
           if (!eng.is_awake(u)) continue;
           ++awake_nbrs;
+          if (lossy && !eng.link_up(v, u, sync)) continue;
+          ++heard;
           mis_neighbor |= value_of(u) == MisValue::kTrue;
         }
-        chunk.charge_symmetric_broadcast(v, awake_nbrs, status_bits);
+        chunk.charge_symmetric_broadcast(v, awake_nbrs, heard, status_bits);
         if (mis_neighbor && value_of(v) == MisValue::kUnknown) {
           set_value(v, MisValue::kFalse);
           chunk.decide(v, 0, sync);
@@ -164,18 +177,27 @@ struct Walker {
     // Only Unknown -> True transitions happen, and both Unknown and True
     // block a neighbor's join, so the in-place scan is again exact.
     const VirtualRound detect2 = sync + 1;
+    if (crashy) {
+      members = eng.apply_crashes(std::move(members), detect2);
+      eng.mark_awake(members);  // awake set shrank; sync's marking is stale
+    }
     eng.charge_round(members, detect2);
     eng.scan_awake(members, [&](BulkChunk& chunk,
                                 std::span<const VertexId> part) {
       for (const VertexId v : part) {
         std::uint64_t awake_nbrs = 0;
+        std::uint64_t heard = 0;
         bool all_eliminated = true;
         for (const VertexId u : g.neighbors(v)) {
           if (!eng.is_awake(u)) continue;
           ++awake_nbrs;
+          // A neighbor whose status message is lost simply isn't heard;
+          // it cannot block the join (that is the injected damage).
+          if (lossy && !eng.link_up(v, u, detect2)) continue;
+          ++heard;
           all_eliminated &= value_of(u) == MisValue::kFalse;
         }
-        chunk.charge_symmetric_broadcast(v, awake_nbrs, status_bits);
+        chunk.charge_symmetric_broadcast(v, awake_nbrs, heard, status_bits);
         if (all_eliminated && value_of(v) == MisValue::kUnknown) {
           set_value(v, MisValue::kTrue);
           chunk.decide(v, 1, detect2);
@@ -221,7 +243,9 @@ void BulkSleepingMis::run(BulkEngine& engine) {
            {},
            {},
            sim::Message::hello().bits,
-           sim::Message::status(0).bits};
+           sim::Message::status(0).bits,
+           engine.crashy(),
+           engine.lossy()};
   w.bits.assign(n * w.words_per_node, 0);
   w.value.assign(n, static_cast<std::uint8_t>(core::MisValue::kUnknown));
 
@@ -269,7 +293,8 @@ void BulkSleepingMis::run(BulkEngine& engine) {
   engine.scan_range(n, [&](BulkChunk& chunk, std::size_t begin,
                            std::size_t end) {
     for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
-      chunk.finish(v, total);
+      // Crashed nodes got their finish_round stamped at crash time.
+      if (!engine.crashed(v)) chunk.finish(v, total);
     }
   });
 }

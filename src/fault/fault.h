@@ -1,0 +1,174 @@
+// Deterministic fault injection shared by both execution back ends.
+//
+// A FaultPlan describes what goes wrong in a run: a fail-stop crash
+// schedule (node v crashes at the first round >= r in which it is
+// awake), a probabilistic per-round crash rate, probabilistic message
+// loss, and a churn stream (joins/leaves with incremental MIS repair,
+// bulk engine only — see fault/churn.h).
+//
+// Every probabilistic decision is a *pure function* of (run seed, fault
+// identity): draws go through util::stream_rng keyed by the entity the
+// fault hits — the undirected edge id and round for message loss, the
+// node id and round for crashes — never through an engine's own RNG
+// streams or any sequential generator. That is the property that makes
+// the layer engine-independent: the coroutine scheduler evaluating
+// "does the link (u, v) drop its messages in round t?" and a bulk-engine
+// lane evaluating the same question on another thread, in another
+// order, at another lane count, compute the identical bit. Message loss
+// is symmetric per link per round (one draw for both directions), so a
+// receiver-side count of surviving messages equals the sender-side
+// count of deliveries and per-chunk accounting stays an order-free sum.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/stream_rng.h"
+
+namespace slumber::fault {
+
+/// One entry of a deterministic fail-stop schedule: `node` crashes at
+/// the start of the first round >= `round` in which it is awake.
+struct CrashEvent {
+  VertexId node = 0;
+  std::uint64_t round = 0;
+};
+
+/// Churn stream configuration: after the protocol run, `batches` rounds
+/// of membership churn hit the graph. In each batch every alive node
+/// leaves with probability `leave_prob` and every departed node rejoins
+/// with probability `join_prob`; after each batch the MIS is repaired
+/// incrementally (fault/churn.h). Draws are keyed by (node, batch).
+struct ChurnSpec {
+  double leave_prob = 0.0;
+  double join_prob = 0.0;
+  std::uint32_t batches = 0;
+
+  bool enabled() const {
+    return batches > 0 && (leave_prob > 0.0 || join_prob > 0.0);
+  }
+};
+
+/// The full fault configuration of a run. Engine-independent: the same
+/// plan produces the same faults on the coroutine scheduler and the
+/// bulk engine at every lane count.
+struct FaultPlan {
+  /// Deterministic fail-stop events (may list a node more than once;
+  /// the earliest round wins).
+  std::vector<CrashEvent> crash_schedule;
+  /// Each round a node is awake it crashes independently with this
+  /// probability, BEFORE sending (fail-stop; silent forever after).
+  double crash_prob = 0.0;
+  /// Each otherwise-deliverable message is lost with this probability.
+  /// Loss is symmetric per undirected link per round.
+  double loss_prob = 0.0;
+  /// Post-run membership churn (bulk engine only).
+  ChurnSpec churn;
+  /// Extra key folded into every draw, so two runs with the same seed
+  /// can face independent fault streams.
+  std::uint64_t salt = 0;
+
+  bool has_crashes() const {
+    return crash_prob > 0.0 || !crash_schedule.empty();
+  }
+  bool has_loss() const { return loss_prob > 0.0; }
+  bool empty() const { return !has_crashes() && !has_loss() && !churn.enabled(); }
+};
+
+namespace detail {
+
+/// One avalanche step combining two 64-bit keys; the building block of
+/// every fault stream id. The golden-ratio offset keeps mix(x, 0) from
+/// collapsing to splitmix64(x).
+inline std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t sm = a ^ (b + 0x9e3779b97f4a7c15ULL);
+  return splitmix64(sm);
+}
+
+// Domain-separation tags so the loss, crash, churn, and repair streams
+// of one run never collide.
+inline constexpr std::uint64_t kLossTag = 0x10557AD0'5EED'0001ULL;
+inline constexpr std::uint64_t kCrashTag = 0xC4A54AD0'5EED'0002ULL;
+inline constexpr std::uint64_t kChurnTag = 0xC4024AD0'5EED'0003ULL;
+inline constexpr std::uint64_t kRepairTag = 0x4EBA14D0'5EED'0004ULL;
+
+}  // namespace detail
+
+/// A FaultPlan bound to one run (seed + vertex count): the read-side
+/// object both engines query. Copyable, cheap when inert; the borrowed
+/// plan must outlive it. All queries are const and thread-safe — they
+/// touch no mutable state, which is what lets bulk lanes evaluate
+/// faults chunk-locally and merge in chunk order.
+class FaultState {
+ public:
+  FaultState() = default;
+
+  FaultState(const FaultPlan* plan, std::uint64_t run_seed, VertexId n)
+      : plan_(plan) {
+    if (plan_ == nullptr) return;
+    seed_ = detail::mix(run_seed, plan_->salt);
+    crash_at_.reserve(plan_->crash_schedule.size());
+    for (const CrashEvent& ev : plan_->crash_schedule) {
+      if (ev.node < n) crash_at_.push_back({ev.node, ev.round});
+    }
+    std::sort(crash_at_.begin(), crash_at_.end());
+    // Keep only the earliest round per node; lookups binary-search the
+    // (small) schedule instead of paying an O(n) array at 10^8 nodes.
+    crash_at_.erase(
+        std::unique(crash_at_.begin(), crash_at_.end(),
+                    [](const auto& a, const auto& b) { return a.first == b.first; }),
+        crash_at_.end());
+  }
+
+  bool active() const { return plan_ != nullptr && !plan_->empty(); }
+  bool has_loss() const { return plan_ != nullptr && plan_->has_loss(); }
+  bool has_crashes() const { return plan_ != nullptr && plan_->has_crashes(); }
+  const FaultPlan* plan() const { return plan_; }
+  /// The derived fault seed; churn/repair streams key off this.
+  std::uint64_t seed() const { return seed_; }
+
+  /// Does node v, awake in the given round, fail-stop at the start of
+  /// it? Rounds are passed as (lo, hi) halves of the bulk engine's
+  /// 128-bit virtual clock; the coroutine scheduler passes hi = 0.
+  /// Only meaningful for rounds in which v is actually awake — both
+  /// engines evaluate it exactly there, which is why they agree.
+  bool crashes_now(VertexId v, std::uint64_t round_lo,
+                   std::uint64_t round_hi) const {
+    if (!has_crashes()) return false;
+    const auto it = std::lower_bound(
+        crash_at_.begin(), crash_at_.end(), v,
+        [](const auto& e, VertexId node) { return e.first < node; });
+    if (it != crash_at_.end() && it->first == v &&
+        (round_hi > 0 || round_lo >= it->second)) {
+      return true;
+    }
+    if (plan_->crash_prob <= 0.0) return false;
+    const std::uint64_t stream =
+        detail::mix(detail::mix(detail::kCrashTag ^ v, round_lo), round_hi);
+    return util::stream_rng(seed_, stream).bernoulli(plan_->crash_prob);
+  }
+
+  /// Is the undirected link {a, b} down in the given round? Symmetric:
+  /// the pair is canonicalized, so both directions (and both engines,
+  /// and every lane) share one draw.
+  bool link_down(VertexId a, VertexId b, std::uint64_t round_lo,
+                 std::uint64_t round_hi) const {
+    if (!has_loss()) return false;
+    if (a > b) std::swap(a, b);
+    const std::uint64_t edge = detail::mix(a, b);
+    const std::uint64_t stream =
+        detail::mix(detail::mix(detail::kLossTag ^ edge, round_lo), round_hi);
+    return util::stream_rng(seed_, stream).bernoulli(plan_->loss_prob);
+  }
+
+ private:
+  const FaultPlan* plan_ = nullptr;
+  std::uint64_t seed_ = 0;
+  // Sorted (node, earliest crash round) pairs from the schedule.
+  std::vector<std::pair<VertexId, std::uint64_t>> crash_at_;
+};
+
+}  // namespace slumber::fault

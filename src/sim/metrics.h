@@ -45,6 +45,13 @@ struct Metrics {
   std::uint64_t distinct_active_rounds = 0;  // rounds with >= 1 awake node
   std::uint64_t congest_violations = 0;
   std::uint32_t max_message_bits_seen = 0;
+  // Churn stream accounting (fault/churn.h; bulk engine only — all zero
+  // unless the run's FaultPlan enabled churn). Filled by the experiment
+  // layer after the protocol run.
+  std::uint64_t churn_batches = 0;
+  std::uint64_t churn_leaves = 0;
+  std::uint64_t churn_joins = 0;
+  std::uint64_t churn_repair_rounds = 0;  // incremental repair passes
 
   double node_avg_awake() const;
   std::uint64_t worst_awake() const;

@@ -36,14 +36,10 @@ Network::Network(const Graph& g, std::uint64_t seed, NetworkOptions options)
     : graph_(g),
       options_(options),
       seed_(seed),
-      fault_rng_(seed ^ 0xFA17'0000'0000'0000ULL) {
+      fault_(options.fault, seed, g.num_vertices()) {
   const VertexId n = g.num_vertices();
   metrics_.node.resize(n);
   finished_.assign(n, false);
-  crash_at_.assign(n, std::numeric_limits<std::uint64_t>::max());
-  for (const auto& [v, round] : options_.crash_schedule) {
-    if (v < n) crash_at_[v] = std::min(crash_at_[v], round);
-  }
   last_awake_.assign(n, 0);
   contexts_.reserve(n);
   Rng master(seed);
@@ -74,16 +70,19 @@ void Network::deliver_from(VertexId sender) {
     check_congest(m);
     ++metrics_.node[sender].messages_sent;
     const VertexId receiver = graph_.neighbor(sender, port);
-    if (options_.message_loss_prob > 0.0 &&
-        fault_rng_.bernoulli(options_.message_loss_prob)) {
-      ++metrics_.injected_losses;
-      if (options_.trace != nullptr) {
-        options_.trace->on_event({TraceEventKind::kDropFault, current_round_,
-                                  sender, receiver, m.kind, 0});
-      }
-      return;
-    }
     if (!finished_[receiver] && last_awake_[receiver] == current_round_) {
+      // Loss only hits otherwise-deliverable messages, and the draw is
+      // keyed by (undirected link, round) — the identical decision the
+      // bulk engine computes for this edge in this round.
+      if (fault_.has_loss() &&
+          fault_.link_down(sender, receiver, current_round_, 0)) {
+        ++metrics_.injected_losses;
+        if (options_.trace != nullptr) {
+          options_.trace->on_event({TraceEventKind::kDropFault, current_round_,
+                                    sender, receiver, m.kind, 0});
+        }
+        return;
+      }
       Context& rctx = *contexts_[receiver];
       const auto back_port =
           static_cast<std::uint32_t>(graph_.port_to(receiver, sender));
@@ -153,13 +152,9 @@ const Metrics& Network::run(const Protocol& protocol) {
 
     // Crash injection happens first: a node that fail-stops this round
     // sends nothing and receives nothing (it is simply absent).
-    if (options_.crash_prob > 0.0 || !options_.crash_schedule.empty()) {
+    if (fault_.has_crashes()) {
       std::erase_if(awake, [&](VertexId v) {
-        const bool crash =
-            crash_at_[v] <= current_round_ ||
-            (options_.crash_prob > 0.0 &&
-             fault_rng_.bernoulli(options_.crash_prob));
-        if (!crash) return false;
+        if (!fault_.crashes_now(v, current_round_, 0)) return false;
         finished_[v] = true;
         metrics_.node[v].crashed = true;
         metrics_.node[v].finish_round = current_round_;

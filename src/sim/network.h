@@ -26,6 +26,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fault/fault.h"
 #include "graph/graph.h"
 #include "sim/context.h"
 #include "sim/metrics.h"
@@ -52,22 +53,16 @@ struct NetworkOptions {
   /// If true, a too-wide message throws CongestViolation; otherwise it is
   /// only counted in Metrics::congest_violations.
   bool throw_on_congest_violation = true;
-  /// Failure injection: each otherwise-deliverable message is lost
-  /// independently with this probability (deterministic in the run
-  /// seed). Models the lossy wireless links of the paper's motivating
-  /// domain; the algorithms assume reliable synchronous delivery, and
-  /// the robustness suite quantifies how they degrade without it.
-  double message_loss_prob = 0.0;
-  /// Failure injection: each round a node is awake it crashes
-  /// independently with this probability, BEFORE sending. A crashed
-  /// node is silent forever (fail-stop); its coroutine never resumes.
-  /// Outputs decided before the crash are kept; an undecided crashed
-  /// node reports -1.
-  double crash_prob = 0.0;
-  /// Failure injection: deterministic fail-stop plan. Node v crashes at
-  /// the start of the first round >= the given round in which it would
-  /// have been awake.
-  std::vector<std::pair<VertexId, std::uint64_t>> crash_schedule;
+  /// Failure injection (fault/fault.h): crash schedules, probabilistic
+  /// per-round crashes, and per-message loss. Borrowed; must outlive
+  /// the run. Crashes are fail-stop: a crashed node is silent forever,
+  /// its coroutine never resumes, outputs decided before the crash are
+  /// kept, and an undecided crashed node reports -1. Message loss hits
+  /// otherwise-deliverable messages only. Every fault decision is a
+  /// keyed util::stream_rng draw, so the bulk engine evaluating the
+  /// same plan under the same seed injects the identical faults.
+  /// FaultPlan::churn is a bulk-only feature and is ignored here.
+  const fault::FaultPlan* fault = nullptr;
   /// Optional event sink (see sim/trace.h); must outlive the run.
   TraceSink* trace = nullptr;
   /// Safety valve: abort the run if the virtual clock passes this.
@@ -114,15 +109,12 @@ class Network {
   std::vector<std::unique_ptr<Context>> contexts_;
   std::vector<Task> tasks_;
   std::vector<bool> finished_;
-  // crash_at_[v]: earliest round at which v fail-stops (from
-  // crash_schedule); max() = never.
-  std::vector<std::uint64_t> crash_at_;
   // last_awake_[v] == current_round_  <=>  v is awake this round.
   std::vector<std::uint64_t> last_awake_;
   std::map<std::uint64_t, std::vector<VertexId>> wake_buckets_;
   std::uint64_t current_round_ = 0;
   std::uint64_t seed_;
-  Rng fault_rng_;  // drives message-loss injection, independent stream
+  fault::FaultState fault_;  // keyed crash/loss decisions
   bool ran_ = false;
 };
 

@@ -44,4 +44,26 @@ inline bool parse_uint(std::string_view token, const char* what,
   return true;
 }
 
+/// Parses `token` as a full-token probability in [0, 1] via
+/// std::from_chars. On failure prints a diagnostic naming `what` to
+/// `err` and returns false.
+inline bool parse_prob(std::string_view token, const char* what, double* out,
+                       std::ostream& err = std::cerr) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size() ||
+      token.empty()) {
+    err << "error: " << what << ": '" << token << "' is not a number\n";
+    return false;
+  }
+  if (!(value >= 0.0 && value <= 1.0)) {
+    err << "error: " << what << ": " << value
+        << " is out of range [0, 1]\n";
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace slumber::util

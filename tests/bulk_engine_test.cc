@@ -33,7 +33,7 @@ void ExpectEnginesAgree(MisEngine engine, const Graph& g, std::uint64_t seed) {
                " seed=" + std::to_string(seed));
   const auto coro = analysis::run_mis(engine, g, seed);
   const auto bulk =
-      analysis::run_mis(engine, g, seed, nullptr, ExecEngine::kBulk);
+      analysis::run_mis(engine, g, seed, {.exec = ExecEngine::kBulk});
   EXPECT_EQ(coro.outputs, bulk.outputs);
   EXPECT_EQ(coro.valid, bulk.valid);
   EXPECT_EQ(coro.mis_size, bulk.mis_size);
@@ -118,9 +118,11 @@ TEST(BulkSleepingMis, RecursionTraceMatches) {
   const Graph g = gen::gnp_avg_degree(300, 8.0, rng);
   core::RecursionTrace coro_trace;
   core::RecursionTrace bulk_trace;
-  const auto coro = analysis::run_mis(MisEngine::kSleeping, g, 7, &coro_trace);
-  const auto bulk_run = analysis::run_mis(MisEngine::kSleeping, g, 7,
-                                          &bulk_trace, ExecEngine::kBulk);
+  const auto coro =
+      analysis::run_mis(MisEngine::kSleeping, g, 7, {.trace = &coro_trace});
+  const auto bulk_run = analysis::run_mis(
+      MisEngine::kSleeping, g, 7,
+      {.exec = ExecEngine::kBulk, .trace = &bulk_trace});
   EXPECT_EQ(coro.outputs, bulk_run.outputs);
   EXPECT_EQ(coro_trace.levels, bulk_trace.levels);
   EXPECT_EQ(coro_trace.bits, bulk_trace.bits);
@@ -211,21 +213,21 @@ TEST(BulkEngine, EdgeCaseGraphsAgree) {
 TEST(BulkEngine, DeterministicAcrossRuns) {
   Rng rng(11);
   const Graph g = gen::gnp_avg_degree(500, 8.0, rng);
-  const auto first = analysis::run_mis(MisEngine::kSleeping, g, 11, nullptr,
-                                       ExecEngine::kBulk);
-  const auto second = analysis::run_mis(MisEngine::kSleeping, g, 11, nullptr,
-                                        ExecEngine::kBulk);
+  const auto first = analysis::run_mis(MisEngine::kSleeping, g, 11,
+                                       {.exec = ExecEngine::kBulk});
+  const auto second = analysis::run_mis(MisEngine::kSleeping, g, 11,
+                                        {.exec = ExecEngine::kBulk});
   EXPECT_EQ(first.outputs, second.outputs);
   ExpectMetricsEqual(first.metrics, second.metrics);
 }
 
 TEST(BulkEngine, UnsupportedEngineThrows) {
   const Graph g = gen::path(8);
-  EXPECT_THROW(analysis::run_mis(MisEngine::kFastSleeping, g, 1, nullptr,
-                                 ExecEngine::kBulk),
+  EXPECT_THROW(analysis::run_mis(MisEngine::kFastSleeping, g, 1,
+                                 {.exec = ExecEngine::kBulk}),
                std::invalid_argument);
-  EXPECT_THROW(analysis::run_mis(MisEngine::kGhaffari, g, 1, nullptr,
-                                 ExecEngine::kBulk),
+  EXPECT_THROW(analysis::run_mis(MisEngine::kGhaffari, g, 1,
+                                 {.exec = ExecEngine::kBulk}),
                std::invalid_argument);
   EXPECT_FALSE(analysis::engine_supports_bulk(MisEngine::kFastSleeping));
   EXPECT_TRUE(analysis::engine_supports_bulk(MisEngine::kSleeping));
@@ -249,10 +251,12 @@ TEST(BulkEngine, RunTrialsBulkMatchesCoroutine) {
     Rng rng(seed);
     return gen::gnp_avg_degree(200, 6.0, rng);
   };
-  const auto coro = analysis::run_trials(MisEngine::kSleeping, factory, 77, 4,
-                                         1, ExecEngine::kCoroutine);
-  const auto bulk_runs = analysis::run_trials(MisEngine::kSleeping, factory,
-                                              77, 4, 1, ExecEngine::kBulk);
+  const auto coro = analysis::run_trials(
+      MisEngine::kSleeping, factory, 77, 4,
+      {.exec = ExecEngine::kCoroutine, .num_threads = 1});
+  const auto bulk_runs = analysis::run_trials(
+      MisEngine::kSleeping, factory, 77, 4,
+      {.exec = ExecEngine::kBulk, .num_threads = 1});
   ASSERT_EQ(coro.size(), bulk_runs.size());
   for (std::size_t i = 0; i < coro.size(); ++i) {
     EXPECT_EQ(coro[i].outputs, bulk_runs[i].outputs) << "trial " << i;

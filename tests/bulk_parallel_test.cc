@@ -186,10 +186,10 @@ TEST(BulkParallelRunMis, PoolParameterIsBitwiseInvariant) {
   Rng rng(5);
   const Graph g = gen::gnp_avg_degree(10000, 8.0, rng);
   const auto serial =
-      analysis::run_mis(MisEngine::kSleeping, g, 5, nullptr, ExecEngine::kBulk);
+      analysis::run_mis(MisEngine::kSleeping, g, 5, {.exec = ExecEngine::kBulk});
   util::ThreadPool pool(4);
-  const auto sharded = analysis::run_mis(MisEngine::kSleeping, g, 5, nullptr,
-                                         ExecEngine::kBulk, &pool);
+  const auto sharded = analysis::run_mis(
+      MisEngine::kSleeping, g, 5, {.exec = ExecEngine::kBulk, .pool = &pool});
   EXPECT_EQ(serial.outputs, sharded.outputs);
   EXPECT_EQ(serial.valid, sharded.valid);
   EXPECT_EQ(serial.mis_size, sharded.mis_size);

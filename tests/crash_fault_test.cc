@@ -14,6 +14,7 @@
 #include "algos/luby.h"
 #include "analysis/verify.h"
 #include "core/sleeping_mis.h"
+#include "fault/fault.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 #include "util/rng.h"
@@ -28,8 +29,10 @@ Task chatter_protocol(Context& ctx) {
 
 TEST(CrashFaultTest, ScheduledCrashSilencesNode) {
   const Graph g = gen::path(3);  // 0-1-2
+  fault::FaultPlan plan;
+  plan.crash_schedule = {{1, 5}};
   NetworkOptions options;
-  options.crash_schedule = {{1, 5}};
+  options.fault = &plan;
   Network net(g, 1, options);
   const Metrics& metrics = net.run(chatter_protocol);
   EXPECT_EQ(metrics.crashed_nodes, 1u);
@@ -46,8 +49,10 @@ TEST(CrashFaultTest, ScheduledCrashSilencesNode) {
 
 TEST(CrashFaultTest, CrashAtRoundOneSendsNothing) {
   const Graph g = gen::complete(2);
+  fault::FaultPlan plan;
+  plan.crash_schedule = {{0, 1}};
   NetworkOptions options;
-  options.crash_schedule = {{0, 1}};
+  options.fault = &plan;
   Network net(g, 2, options);
   const Metrics& metrics = net.run(chatter_protocol);
   EXPECT_EQ(metrics.node[0].messages_sent, 0u);
@@ -57,8 +62,10 @@ TEST(CrashFaultTest, CrashAtRoundOneSendsNothing) {
 
 TEST(CrashFaultTest, UndecidedCrashedNodeReportsMinusOne) {
   const Graph g = gen::cycle(6);
+  fault::FaultPlan plan;
+  plan.crash_schedule = {{2, 1}};
   NetworkOptions options;
-  options.crash_schedule = {{2, 1}};
+  options.fault = &plan;
   auto [metrics, outputs] = run_protocol(
       g, 3,
       [](Context& ctx) -> Task {
@@ -73,8 +80,10 @@ TEST(CrashFaultTest, UndecidedCrashedNodeReportsMinusOne) {
 
 TEST(CrashFaultTest, DecidedOutputSurvivesLaterCrash) {
   const Graph g = gen::complete(2);
+  fault::FaultPlan plan;
+  plan.crash_schedule = {{0, 3}};
   NetworkOptions options;
-  options.crash_schedule = {{0, 3}};
+  options.fault = &plan;
   auto [metrics, outputs] = run_protocol(
       g, 4,
       [](Context& ctx) -> Task {
@@ -88,8 +97,10 @@ TEST(CrashFaultTest, DecidedOutputSurvivesLaterCrash) {
 
 TEST(CrashFaultTest, CrashRateMatchesConfiguredProbability) {
   const Graph g = gen::empty(2000);
+  fault::FaultPlan plan;
+  plan.crash_prob = 0.05;
   NetworkOptions options;
-  options.crash_prob = 0.05;
+  options.fault = &plan;
   // Each node is awake exactly once; expect ~5% to crash then.
   auto [metrics, outputs] = run_protocol(
       g, 5,
@@ -105,8 +116,10 @@ TEST(CrashFaultTest, CrashRateMatchesConfiguredProbability) {
 TEST(CrashFaultTest, DeterministicInSeed) {
   Rng rng(6);
   const Graph g = gen::gnp(60, 0.1, rng);
+  fault::FaultPlan plan;
+  plan.crash_prob = 0.01;
   NetworkOptions options;
-  options.crash_prob = 0.01;
+  options.fault = &plan;
   auto first = run_protocol(g, 42, algos::distributed_greedy_mis(), options);
   auto second = run_protocol(g, 42, algos::distributed_greedy_mis(), options);
   EXPECT_EQ(first.outputs, second.outputs);
@@ -127,8 +140,10 @@ TEST_P(CrashDegradation, IndependenceSurvivesAndDamageIsLocal) {
   const auto [crash_prob, seed] = GetParam();
   Rng rng(seed);
   const Graph g = gen::gnp_avg_degree(150, 5.0, rng);
+  fault::FaultPlan plan;
+  plan.crash_prob = crash_prob;
   NetworkOptions options;
-  options.crash_prob = crash_prob;
+  options.fault = &plan;
   auto [metrics, outputs] =
       run_protocol(g, seed * 17 + 3, algos::distributed_greedy_mis(), options);
 

@@ -76,11 +76,12 @@ TEST_P(ParallelRunnerDeterminismTest, RunTrialsIdenticalAcrossThreadCounts) {
   const std::uint32_t num_seeds = 10;
 
   const std::vector<MisRun> serial =
-      run_trials(engine, factory, base_seed, num_seeds, 1);
+      run_trials(engine, factory, base_seed, num_seeds, {.num_threads = 1});
   ASSERT_EQ(serial.size(), num_seeds);
   for (const unsigned threads : {2u, 8u}) {
     const std::vector<MisRun> parallel =
-        run_trials(engine, factory, base_seed, num_seeds, threads);
+        run_trials(engine, factory, base_seed, num_seeds,
+                   {.num_threads = threads});
     ASSERT_EQ(parallel.size(), num_seeds) << threads << " threads";
     for (std::uint32_t i = 0; i < num_seeds; ++i) {
       SCOPED_TRACE(testing::Message()
@@ -98,16 +99,18 @@ TEST_P(ParallelRunnerDeterminismTest, AggregateMatchesSerialAggregateMis) {
   const std::uint32_t num_seeds = 10;
 
   const AggregateRun serial =
-      aggregate_mis(engine, factory, base_seed, num_seeds, 1);
+      aggregate_mis(engine, factory, base_seed, num_seeds, {.num_threads = 1});
   EXPECT_EQ(serial.runs, num_seeds);
   EXPECT_EQ(serial.invalid_runs, 0u);
   for (const unsigned threads : {2u, 8u}) {
     SCOPED_TRACE(testing::Message() << "threads=" << threads);
     expect_aggregates_identical(
-        serial, aggregate_mis(engine, factory, base_seed, num_seeds, threads));
+        serial, aggregate_mis(engine, factory, base_seed, num_seeds,
+                              {.num_threads = threads}));
     expect_aggregates_identical(
         serial, aggregate_runs(run_trials(engine, factory, base_seed,
-                                          num_seeds, threads)));
+                                          num_seeds,
+                                          {.num_threads = threads})));
   }
 }
 

@@ -18,6 +18,7 @@
 #include "algos/greedy.h"
 #include "analysis/verify.h"
 #include "core/sleeping_mis.h"
+#include "fault/fault.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 
@@ -30,8 +31,10 @@ TEST(RobustnessTest, LossRateMatchesConfiguredProbability) {
     for (int i = 0; i < 50; ++i) co_await ctx.broadcast(Message::hello());
     ctx.decide(1);
   };
+  fault::FaultPlan plan;
+  plan.loss_prob = 0.3;
   NetworkOptions options;
-  options.message_loss_prob = 0.3;
+  options.fault = &plan;
   Network net(g, 5, options);
   const Metrics& metrics = net.run(protocol);
   const double sent = 20.0 * 19.0 * 50.0;
@@ -48,8 +51,10 @@ TEST(RobustnessTest, ZeroLossInjectsNothing) {
     co_await ctx.broadcast(Message::hello());
     ctx.decide(1);
   };
+  fault::FaultPlan plan;
+  plan.loss_prob = 0.0;
   NetworkOptions options;
-  options.message_loss_prob = 0.0;
+  options.fault = &plan;
   Network net(g, 5, options);
   EXPECT_EQ(net.run(protocol).injected_losses, 0u);
 }
@@ -60,8 +65,10 @@ TEST(RobustnessTest, InjectionDeterministicInSeed) {
     Inbox inbox = co_await ctx.broadcast(Message::hello());
     ctx.decide(static_cast<std::int64_t>(inbox.size()));
   };
+  fault::FaultPlan plan;
+  plan.loss_prob = 0.5;
   NetworkOptions options;
-  options.message_loss_prob = 0.5;
+  options.fault = &plan;
   Network a(g, 77, options);
   Network b(g, 77, options);
   a.run(protocol);
@@ -76,8 +83,10 @@ TEST(RobustnessTest, SleepingMisTerminatesUnderLoss) {
   // finishes at exactly T(K).
   Rng rng(4);
   const Graph g = gen::gnp_avg_degree(48, 6.0, rng);
+  fault::FaultPlan plan;
+  plan.loss_prob = 0.5;
   NetworkOptions options;
-  options.message_loss_prob = 0.5;
+  options.fault = &plan;
   Network net(g, 9, options);
   const Metrics& metrics = net.run(core::sleeping_mis());
   const std::uint64_t expected_finish = metrics.node[0].finish_round;
@@ -95,8 +104,10 @@ TEST(RobustnessTest, SleepingMisCorruptsUnderHeavyLossAndVerifierCatchesIt) {
   const Graph g = gen::gnp_avg_degree(64, 8.0, rng);
   int invalid = 0;
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    fault::FaultPlan plan;
+    plan.loss_prob = 0.3;
     NetworkOptions options;
-    options.message_loss_prob = 0.3;
+    options.fault = &plan;
     Network net(g, seed, options);
     net.run(core::sleeping_mis());
     if (!analysis::check_mis(g, net.outputs()).ok()) ++invalid;
@@ -111,8 +122,10 @@ TEST(RobustnessTest, LightLossOftenSurvivable) {
   const Graph g = gen::gnp_avg_degree(48, 4.0, rng);
   int valid = 0;
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    fault::FaultPlan plan;
+    plan.loss_prob = 0.01;
     NetworkOptions options;
-    options.message_loss_prob = 0.01;
+    options.fault = &plan;
     Network net(g, seed, options);
     net.run(core::sleeping_mis());
     valid += analysis::check_mis(g, net.outputs()).ok() ? 1 : 0;
@@ -128,8 +141,10 @@ TEST(RobustnessTest, GreedyIndependenceCanBreakButTerminates) {
   Rng rng(10);
   const Graph g = gen::gnp_avg_degree(40, 6.0, rng);
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    fault::FaultPlan plan;
+    plan.loss_prob = 0.2;
     NetworkOptions options;
-    options.message_loss_prob = 0.2;
+    options.fault = &plan;
     Network net(g, seed, options);
     const Metrics& metrics = net.run(algos::distributed_greedy_mis());
     EXPECT_GT(metrics.makespan, 0u);
@@ -144,8 +159,10 @@ TEST(RobustnessTest, TraceRecordsInjectedLosses) {
     for (int i = 0; i < 10; ++i) co_await ctx.broadcast(Message::hello());
     ctx.decide(1);
   };
+  fault::FaultPlan plan;
+  plan.loss_prob = 0.25;
   NetworkOptions options;
-  options.message_loss_prob = 0.25;
+  options.fault = &plan;
   options.trace = &trace;
   Network net(g, 3, options);
   const Metrics& metrics = net.run(protocol);

@@ -11,6 +11,7 @@
 //   I5  identical seeds => identical everything (determinism)
 #include <gtest/gtest.h>
 
+#include "fault/fault.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 #include "util/rng.h"
@@ -58,8 +59,10 @@ TEST_P(SimInvariantsTest, ConservationAndConsistency) {
   const Graph g = gen::gnp_avg_degree(40, 6.0, graph_rng);
 
   for (const double loss : {0.0, 0.15}) {
+    fault::FaultPlan plan;
+    plan.loss_prob = loss;
     NetworkOptions options;
-    options.message_loss_prob = loss;
+    options.fault = &plan;
     Network net(g, seed, options);
     const Metrics& metrics = net.run(chaos_protocol);
 
@@ -96,8 +99,10 @@ TEST_P(SimInvariantsTest, Determinism) {
   const std::uint64_t seed = GetParam();
   Rng graph_rng(seed);
   const Graph g = gen::gnp_avg_degree(30, 5.0, graph_rng);
+  fault::FaultPlan plan;
+  plan.loss_prob = 0.05;
   NetworkOptions options;
-  options.message_loss_prob = 0.05;
+  options.fault = &plan;
 
   Network a(g, seed * 3 + 1, options);
   Network b(g, seed * 3 + 1, options);

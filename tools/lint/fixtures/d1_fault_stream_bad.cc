@@ -1,0 +1,21 @@
+// Must-flag fixture for the src/fault/-scoped slumber-d1 extension:
+// sequential RNG state inside the fault layer. Every line below
+// re-derives a fault decision from generator state instead of a keyed
+// util::stream_rng draw, which would make the decision depend on
+// consumption order (and so on engine and lane count).
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace slumber::fault {
+
+bool bad_loss_draw(std::uint64_t seed, std::uint64_t edge) {
+  util::Rng rng(seed ^ edge);  // MUST-FLAG(slumber-d1)
+  return rng.bernoulli(0.5);
+}
+
+bool bad_split_draw(util::Rng& parent) {
+  return parent.split().bernoulli(0.5);  // MUST-FLAG(slumber-d1)
+}
+
+}  // namespace slumber::fault

@@ -11,6 +11,11 @@ so this checker enforces them directly:
               thread::hardware_concurrency outside the documented
               default_trial_threads precedence chain
               (src/util/thread_pool.cc is the single allowed site).
+              src/fault/ additionally bans sequential RNG state (Rng
+              construction, Rng::split, engine node_rng streams): every
+              fault decision must be a pure keyed util::stream_rng
+              draw, which is what makes the fault layer engine- and
+              lane-count-independent.
   slumber-d2  No iteration over std::unordered_map/set/multimap/multiset
               anywhere findings-bearing code lives (src/, bench/,
               examples/, tools/): iteration order is implementation-
@@ -279,6 +284,32 @@ D1_PATTERNS = (
     (re.compile(r"\bhardware_concurrency\b"), "hardware_concurrency"),
 )
 
+# src/fault/ extension: the fault layer's contract is that every
+# probabilistic decision is a pure function of (seed, entity) via
+# util::stream_rng. Sequential generator state — a constructed Rng, a
+# state-derived split, or a protocol's per-node engine stream — makes a
+# draw depend on consumption order, which breaks the bitwise agreement
+# between the coroutine and bulk back ends and across lane counts.
+D1_FAULT_SCOPE_PREFIX = "src/fault/"
+D1_FAULT_PATTERNS = (
+    (re.compile(r"\bRng\s+\w+\s*[({=]|\bRng\s*\("), "sequential Rng"),
+    (re.compile(r"\.\s*split\s*\("), "Rng::split"),
+    (re.compile(r"\bnode_rng\s*\("), "engine node stream"),
+)
+
+D1_FAULT_EXPLANATIONS = {
+    "sequential Rng": "fault draws must be pure keyed util::stream_rng "
+                      "calls; a constructed generator's output depends on "
+                      "consumption order, breaking engine- and "
+                      "lane-independence",
+    "Rng::split": "state-derived child streams depend on how much of the "
+                  "parent was consumed; key a util::stream_rng stream by "
+                  "the faulted entity instead",
+    "engine node stream": "per-node engine streams belong to the "
+                          "protocols; fault decisions consuming them would "
+                          "perturb the fault-free trajectory",
+}
+
 D1_EXPLANATIONS = {
     "std::rand": "non-reproducible RNG; use util::Rng / util::stream_rng "
                  "seeded from the trial schedule",
@@ -312,6 +343,16 @@ def check_d1(src: SourceFile, suppressed: dict[int, set[str]],
             findings.append(Finding(
                 src.path, idx + 1, "slumber-d1",
                 f"{name}: {D1_EXPLANATIONS[name]}"))
+    if scope_path.startswith(D1_FAULT_SCOPE_PREFIX):
+        for idx, line in enumerate(src.code):
+            for pattern, name in D1_FAULT_PATTERNS:
+                if not pattern.search(line):
+                    continue
+                if is_suppressed(suppressed, idx, "slumber-d1"):
+                    continue
+                findings.append(Finding(
+                    src.path, idx + 1, "slumber-d1",
+                    f"{name}: {D1_FAULT_EXPLANATIONS[name]}"))
     return findings
 
 
@@ -637,8 +678,11 @@ def run_self_test(fixtures_dir: str) -> int:
                 expected.add((idx + 1, m.group("rule")))
         flagged_expectations += len(expected)
         # Fixtures exercise every rule regardless of directory scope:
-        # analyze them as if they lived under src/.
-        actual_findings = analyze_file(abspath, f"src/fixtures/{name}")
+        # analyze them as if they lived under src/; d1_fault_* fixtures
+        # target the src/fault/-scoped extension and are analyzed there.
+        scope = (f"src/fault/{name}" if name.startswith("d1_fault_")
+                 else f"src/fixtures/{name}")
+        actual_findings = analyze_file(abspath, scope)
         actual = {(f.line, f.rule) for f in actual_findings}
         for line_no, rule in sorted(expected - actual):
             failures.append(f"{name}:{line_no}: expected {rule} finding, "

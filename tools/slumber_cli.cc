@@ -21,6 +21,14 @@
 // Commands that need the staged edge list (matching, edge-color,
 // ruling-set) reject --gen sharded with an explanation.
 //
+// Fault-injection flags (run / sweep / beep; see fault/fault.h) ride
+// the same global grammar: `--crash V@R` fail-stops node V at round R
+// (repeatable), `--loss P` drops each otherwise-deliverable message
+// with probability P (symmetric per link per round), and `--churn P`
+// [--churn-batches K] runs post-protocol membership churn with
+// incremental MIS repair. Churn needs `--engine bulk`. All fault
+// streams are engine- and lane-count-independent.
+//
 //   slumber families
 //       List the built-in graph families.
 //   slumber engines
@@ -64,6 +72,7 @@
 #include "analysis/parallel.h"
 #include "analysis/stats.h"
 #include "analysis/table.h"
+#include "analysis/trial_spec.h"
 #include "analysis/verify.h"
 #include "core/schedule.h"
 #include "core/sleeping_mis.h"
@@ -72,6 +81,7 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/properties.h"
+#include "fault/fault.h"
 #include "sim/network.h"
 #include "sim/trace.h"
 #include "util/parse.h"
@@ -81,11 +91,9 @@ namespace {
 
 using namespace slumber;
 
-// Execution back end selected by the global --engine flag.
-analysis::ExecEngine g_exec = analysis::ExecEngine::kCoroutine;
-
-// G(n, p) seed schedule selected by the global --gen flag.
-gen::Schedule g_schedule = gen::Schedule::kLegacy;
+// Shared flags (--engine / --gen / --threads / fault injection),
+// parsed once by analysis::parse_trial_flags.
+analysis::TrialSpec g_spec;
 
 /// Builds a graph under the global --gen schedule. `pool`, when
 /// non-null, shards a sharded-schedule build over its lanes.
@@ -93,7 +101,7 @@ Graph make_cli_graph(const gen::Family family, const VertexId n,
                      const std::uint64_t seed,
                      util::ThreadPool* pool = nullptr) {
   gen::MakeOptions options;
-  options.schedule = g_schedule;
+  options.schedule = g_spec.schedule;
   options.pool = pool;
   return gen::make(family, n, seed, options);
 }
@@ -101,7 +109,7 @@ Graph make_cli_graph(const gen::Family family, const VertexId n,
 /// Commands that reduce through the staged edge list cannot take
 /// memory-diet graphs; fail with an explanation instead of a throw.
 bool check_edge_list_schedule(const char* command) {
-  if (g_schedule == gen::Schedule::kSharded) {
+  if (g_spec.schedule == gen::Schedule::kSharded) {
     std::cerr << "error: " << command
               << " needs an edge-list graph; --gen sharded builds CSR-only "
                  "memory-diet graphs (use --gen legacy)\n";
@@ -127,7 +135,8 @@ bool parse_vertex_count(std::string_view token, const char* what,
 int usage() {
   std::cerr <<
       "usage: slumber [--threads N] [--engine coroutine|bulk] "
-      "[--gen legacy|sharded] <command> ...\n"
+      "[--gen legacy|sharded] [--crash V@R] [--loss P] "
+      "[--churn P [--churn-batches K]] <command> ...\n"
       "  slumber families\n"
       "  slumber engines\n"
       "  slumber run <engine> <family> <n> [seed]\n"
@@ -172,7 +181,7 @@ int cmd_engines() {
 }
 
 bool check_bulk_support(const analysis::MisEngine engine) {
-  if (g_exec == analysis::ExecEngine::kBulk &&
+  if (g_spec.exec == analysis::ExecEngine::kBulk &&
       !analysis::engine_supports_bulk(engine)) {
     std::cerr << "error: " << analysis::engine_name(engine)
               << " has no bulk implementation (bulk supports: sleeping, "
@@ -188,7 +197,7 @@ int cmd_run(const analysis::MisEngine engine, const gen::Family family,
   // --engine bulk shards this single trial's node scans — and, with
   // --gen sharded, the graph build itself — over --threads lanes
   // (default: all hardware threads); bitwise identical for any N.
-  util::ThreadPool pool(g_exec == analysis::ExecEngine::kBulk
+  util::ThreadPool pool(g_spec.exec == analysis::ExecEngine::kBulk
                             ? analysis::default_trial_threads()
                             : 1);
   const Graph g = make_cli_graph(family, n, seed, &pool);
@@ -196,15 +205,35 @@ int cmd_run(const analysis::MisEngine engine, const gen::Family family,
   std::cout << "graph: " << g.summary() << " (" << gen::family_name(family)
             << ", arboricity in [" << bounds.lower << ", " << bounds.upper
             << "])\n";
-  const auto run = analysis::run_mis(engine, g, seed, nullptr, g_exec, &pool);
+  const auto run = analysis::run_mis(engine, g, seed, g_spec.run_options(&pool));
   std::cout << "engine: " << analysis::engine_name(engine) << " ("
-            << analysis::exec_engine_name(g_exec) << " execution, "
+            << analysis::exec_engine_name(g_spec.exec) << " execution, "
             << pool.num_threads() << (pool.num_threads() == 1
                                           ? " lane)\n"
                                           : " lanes)\n")
-            << "verify: " << analysis::check_mis(g, run.outputs).describe()
-            << "\n"
-            << "MIS size: " << run.mis_size << "\n\n";
+            << "verify: ";
+  if (run.alive.empty()) {
+    std::cout << analysis::check_mis(g, run.outputs).describe();
+  } else {
+    // Dead nodes make the full-graph check vacuous; report the
+    // survivors' invariant instead (computed by run_mis).
+    std::cout << (run.valid ? "valid MIS of the alive subgraph"
+                            : "NOT an MIS of the alive subgraph");
+  }
+  std::cout << "\n"
+            << "MIS size: " << run.mis_size << "\n";
+  if (g_spec.fault_or_null() != nullptr) {
+    std::cout << "faults: crashed " << run.metrics.crashed_nodes
+              << ", lost messages " << run.metrics.injected_losses;
+    if (g_spec.fault.churn.enabled()) {
+      std::cout << ", churn -" << run.metrics.churn_leaves << "/+"
+                << run.metrics.churn_joins << " nodes over "
+                << run.metrics.churn_batches << " batches ("
+                << run.metrics.churn_repair_rounds << " repair passes)";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
   analysis::Table table({"measure", "value", "paper bound (sleeping algs)"});
   table.add_row({"node-averaged awake", analysis::Table::num(run.node_avg_awake),
                  "O(1)"});
@@ -234,10 +263,10 @@ int cmd_sweep(const analysis::MisEngine engine, const gen::Family family,
   std::vector<double> awake;
   for (VertexId n = 64; n <= max_n; n *= 4) {
     gen::MakeOptions options;
-    options.schedule = g_schedule;
+    options.schedule = g_spec.schedule;
     const auto agg = analysis::aggregate_mis(
-        engine, analysis::graph_factory(family, n, options), 7 * n, seeds, 0,
-        g_exec);
+        engine, analysis::graph_factory(family, n, options), 7 * n, seeds,
+        {.exec = g_spec.exec, .fault = g_spec.fault_or_null()});
     ns.push_back(n);
     awake.push_back(agg.node_avg_awake_mean);
     table.add_row({analysis::Table::num(std::uint64_t{n}),
@@ -354,14 +383,20 @@ int cmd_ruling_set(const analysis::MisEngine engine, const gen::Family family,
 
 int cmd_beep(const gen::Family family, const VertexId n,
              const std::uint64_t seed) {
+  if (g_spec.fault.churn.enabled()) {
+    std::cerr << "error: beep does not support --churn (churn repair is "
+                 "defined for the MIS engines; use run/sweep)\n";
+    return 2;
+  }
   const Graph g = make_cli_graph(family, n, seed);
   sim::Metrics metrics;
   std::vector<std::int64_t> outputs;
-  if (g_exec == analysis::ExecEngine::kBulk) {
+  if (g_spec.exec == analysis::ExecEngine::kBulk) {
     util::ThreadPool pool(analysis::default_trial_threads());
     bulk::BulkOptions options;
     options.max_message_bits = 1;
     options.pool = &pool;
+    options.fault = g_spec.fault_or_null();
     bulk::BulkBeepingMis protocol;
     auto result = bulk::run_bulk(g, seed, protocol, options);
     metrics = std::move(result.metrics);
@@ -369,6 +404,7 @@ int cmd_beep(const gen::Family family, const VertexId n,
   } else {
     sim::NetworkOptions options;
     options.max_message_bits = 1;
+    options.fault = g_spec.fault_or_null();
     auto result = sim::run_protocol(g, seed, algos::beeping_mis(), options);
     metrics = std::move(result.metrics);
     outputs = std::move(result.outputs);
@@ -411,76 +447,46 @@ int cmd_leader(const gen::Family family, const VertexId n,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global --threads / --engine flags (valid anywhere) before
-  // dispatch.
-  std::vector<char*> args;
-  args.reserve(static_cast<std::size_t>(argc));
-  for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--threads") {
-      if (i + 1 >= argc) return usage();
-      std::uint64_t threads = 0;
-      if (!parse_uint(argv[++i], "--threads", &threads, 1,
-                      std::numeric_limits<unsigned>::max())) {
-        return 2;
-      }
-      analysis::set_default_trial_threads(static_cast<unsigned>(threads));
-      continue;
-    }
-    if (std::string(argv[i]) == "--engine") {
-      if (i + 1 >= argc) return usage();
-      if (!analysis::exec_engine_from_name(argv[++i], &g_exec)) {
-        return usage();
-      }
-      continue;
-    }
-    if (std::string(argv[i]) == "--gen") {
-      if (i + 1 >= argc) return usage();
-      if (!gen::schedule_from_name(argv[++i], &g_schedule)) {
-        std::cerr << "error: unknown --gen '" << argv[i]
-                  << "'; valid generators:";
-        for (const gen::Schedule schedule : gen::all_schedules()) {
-          std::cerr << ' ' << gen::schedule_name(schedule);
-        }
-        std::cerr << '\n';
-        return 2;
-      }
-      continue;
-    }
-    args.push_back(argv[i]);
+  // Shared flags (--threads / --engine / --gen / --crash / --loss /
+  // --churn) are valid anywhere; parse_trial_flags strips them and
+  // leaves the positional arguments.
+  std::vector<std::string> args(argv, argv + argc);
+  if (!analysis::parse_trial_flags(&args, &g_spec)) return 2;
+  if (g_spec.threads != 0) {
+    analysis::set_default_trial_threads(g_spec.threads);
   }
-  argc = static_cast<int>(args.size());
-  argv = args.data();
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
+  const int nargs = static_cast<int>(args.size());
+  if (nargs < 2) return usage();
+  const std::string command = args[1];
   if (command == "families") return cmd_families();
   if (command == "engines") return cmd_engines();
   if (command == "tree") {
-    if (argc < 3) return usage();
+    if (nargs < 3) return usage();
     std::uint64_t levels = 0;
-    if (!parse_uint(argv[2], "tree <levels>", &levels, 0, 62)) return 2;
+    if (!parse_uint(args[2], "tree <levels>", &levels, 0, 62)) return 2;
     return cmd_tree(static_cast<std::uint32_t>(levels));
   }
   if (command == "graph") {
-    if (argc < 5) return usage();
+    if (nargs < 5) return usage();
     gen::Family family;
-    if (!parse_family(argv[2], &family)) return usage();
+    if (!parse_family(args[2], &family)) return usage();
     VertexId n = 0;
     std::uint64_t seed = 0;
-    if (!parse_vertex_count(argv[3], "graph <n>", &n) ||
-        !parse_uint(argv[4], "graph <seed>", &seed)) {
+    if (!parse_vertex_count(args[3], "graph <n>", &n) ||
+        !parse_uint(args[4], "graph <seed>", &seed)) {
       return 2;
     }
     return cmd_graph(family, n, seed,
-                     argc > 5 && std::string(argv[5]) == "dot");
+                     nargs > 5 && std::string(args[5]) == "dot");
   }
   if (command == "edge-color" || command == "beep" || command == "leader") {
-    if (argc < 4) return usage();
+    if (nargs < 4) return usage();
     gen::Family family;
-    if (!parse_family(argv[2], &family)) return usage();
+    if (!parse_family(args[2], &family)) return usage();
     VertexId n = 0;
     std::uint64_t seed = 1;
-    if (!parse_vertex_count(argv[3], "<n>", &n) ||
-        (argc > 4 && !parse_uint(argv[4], "<seed>", &seed))) {
+    if (!parse_vertex_count(args[3], "<n>", &n) ||
+        (nargs > 4 && !parse_uint(args[4], "<seed>", &seed))) {
       return 2;
     }
     if (command == "edge-color") return cmd_edge_color(family, n, seed);
@@ -488,11 +494,11 @@ int main(int argc, char** argv) {
     return cmd_leader(family, n, seed);
   }
   // Remaining commands share <engine> <family> <n> [arg4].
-  if (argc < 5) return usage();
+  if (nargs < 5) return usage();
   analysis::MisEngine engine;
   gen::Family family;
-  if (!analysis::engine_from_name(argv[2], &engine) ||
-      !parse_family(argv[3], &family)) {
+  if (!analysis::engine_from_name(args[2], &engine) ||
+      !parse_family(args[3], &family)) {
     return usage();
   }
   VertexId n = 0;
@@ -501,9 +507,9 @@ int main(int argc, char** argv) {
   // sweep (seeds) and ruling-set (k) — bound it per command so the
   // later narrowing cast can never truncate silently.
   const bool narrow_arg5 = command == "ruling-set" || command == "sweep";
-  if (!parse_vertex_count(argv[4], "<n>", &n) ||
-      (argc > 5 &&
-       !parse_uint(argv[5],
+  if (!parse_vertex_count(args[4], "<n>", &n) ||
+      (nargs > 5 &&
+       !parse_uint(args[5],
                    command == "ruling-set" ? "<k>"
                    : command == "sweep"    ? "<seeds>"
                                            : "<seed>",
@@ -521,7 +527,7 @@ int main(int argc, char** argv) {
   if (command == "matching") return cmd_matching(engine, family, n, arg5);
   if (command == "ruling-set") {
     std::uint64_t seed = 1;
-    if (argc > 6 && !parse_uint(argv[6], "<seed>", &seed)) return 2;
+    if (nargs > 6 && !parse_uint(args[6], "<seed>", &seed)) return 2;
     return cmd_ruling_set(engine, family, n,
                           static_cast<std::uint32_t>(arg5), seed);
   }
