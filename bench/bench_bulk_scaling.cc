@@ -34,12 +34,19 @@
 //
 //   bench_bulk_scaling 100000000 1 8 --mem-diet --gen sharded --first-touch
 //
-// The final line `BENCH-SPLIT build_ms=<b> run_ms=<r>` totals the two
-// phases for tools/run_bench.sh, which records the split in the
-// BENCH_*.json baselines.
+// The final lines `BENCH-SPLIT build_ms=<b> run_ms=<r>`,
+// `BENCH-PHASE gen=<b>` / `BENCH-PHASE run=<r>`, and
+// `BENCH-RSS peak_kb=<kb>` feed tools/run_bench.sh, which records the
+// phase split and the peak RSS in the BENCH_*.json (slumber-bench-v3)
+// baselines.
+//
+// Telemetry flags (`--obs-out FILE.jsonl`, `--obs-trace FILE.json`,
+// `--progress`) stream the run's spans and counters out of band; see
+// obs/obs.h. They never change any decided output.
 //
 //   bench_bulk_scaling [max_n] [seeds] [threads] [--mem-diet]
 //       [--gen legacy|sharded] [--first-touch]
+//       [--obs-out F] [--obs-trace F] [--progress]
 //       (default: 10,000,000 / 1 / 1 / legacy)
 #include <chrono>
 #include <cstdlib>
@@ -54,6 +61,7 @@
 #include "analysis/verify.h"
 #include "bulk/sleeping_mis.h"
 #include "graph/generators.h"
+#include "obs/obs.h"
 #include "sim/network.h"
 #include "util/parse.h"
 #include "util/thread_pool.h"
@@ -91,6 +99,7 @@ int main(int argc, char** argv) {
   bool mem_diet = false;
   bool first_touch = false;
   gen::Schedule schedule = gen::Schedule::kLegacy;
+  obs::Options obs_options;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,6 +107,15 @@ int main(int argc, char** argv) {
       mem_diet = true;
     } else if (arg == "--first-touch") {
       first_touch = true;
+    } else if (arg == "--obs-out" || arg == "--obs-trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a path\n";
+        return 2;
+      }
+      (arg == "--obs-out" ? obs_options.jsonl_path
+                          : obs_options.trace_path) = argv[++i];
+    } else if (arg == "--progress") {
+      obs_options.progress = true;
     } else if (arg == "--gen") {
       if (i + 1 >= argc ||
           !gen::schedule_from_name(argv[++i], &schedule)) {
@@ -134,6 +152,15 @@ int main(int argc, char** argv) {
       (mem_diet ? ", memory diet" : "") +
       (first_touch ? ", first touch" : ""));
 
+  // Declared before the pool so finalize() runs after every
+  // instrumented worker has exited (the obs/obs.h contract).
+  obs::Session obs_session(obs_options);
+  if (obs_session.active()) {
+    obs_session.set_info("tool", "bench_bulk_scaling");
+    obs_session.set_info("max_n", std::to_string(max_n));
+    obs_session.set_info("threads", std::to_string(threads));
+    obs_session.set_info("gen", gen::schedule_name(schedule));
+  }
   util::ThreadPool pool(threads == 0 ? 1 : threads);
   const bool sharded = schedule == gen::Schedule::kSharded;
 
@@ -265,5 +292,10 @@ int main(int argc, char** argv) {
                "grows ~n^3; the bulk engine's cost tracks awake work only.\n";
   std::cout << "BENCH-SPLIT build_ms=" << static_cast<long long>(total_build_ms)
             << " run_ms=" << static_cast<long long>(total_run_ms) << "\n";
+  std::cout << "BENCH-PHASE gen=" << static_cast<long long>(total_build_ms)
+            << "\n"
+            << "BENCH-PHASE run=" << static_cast<long long>(total_run_ms)
+            << "\n"
+            << "BENCH-RSS peak_kb=" << obs::peak_rss_kb() << "\n";
   return all_valid ? 0 : 1;
 }

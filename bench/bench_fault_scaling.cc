@@ -19,10 +19,14 @@
 //
 //   bench_fault_scaling 10000000 --threads 8 --gen sharded
 //
-// The final `BENCH-SPLIT build_ms=<b> run_ms=<r>` line feeds
-// tools/run_bench.sh.
+// The final `BENCH-SPLIT build_ms=<b> run_ms=<r>`,
+// `BENCH-PHASE gen=<b>` / `BENCH-PHASE run=<r>`, and
+// `BENCH-RSS peak_kb=<kb>` lines feed tools/run_bench.sh
+// (slumber-bench-v3 baselines). The shared telemetry flags (--obs-out,
+// --obs-trace, --progress) work here too; see obs/obs.h.
 //
 //   bench_fault_scaling [n] [seed] [--threads N] [--gen legacy|sharded]
+//       [--obs-out F] [--obs-trace F] [--progress]
 //       (default: 1,000,000 / 1)
 #include <chrono>
 #include <cstdint>
@@ -37,6 +41,7 @@
 #include "analysis/verify.h"
 #include "fault/fault.h"
 #include "graph/generators.h"
+#include "obs/obs.h"
 #include "util/parse.h"
 #include "util/thread_pool.h"
 
@@ -109,6 +114,15 @@ int main(int argc, char** argv) {
                                              : 1;
   const unsigned threads =
       spec.threads != 0 ? spec.threads : analysis::default_trial_threads();
+  // Declared before the pool so finalize() runs after every
+  // instrumented worker has exited (the obs/obs.h contract).
+  obs::Session obs_session(spec.obs);
+  if (obs_session.active()) {
+    obs_session.set_info("tool", "bench_fault_scaling");
+    obs_session.set_info("n", std::to_string(n));
+    obs_session.set_info("threads", std::to_string(threads));
+    obs_session.set_info("gen", gen::schedule_name(spec.schedule));
+  }
   util::ThreadPool pool(threads);
 
   const auto build_start = std::chrono::steady_clock::now();
@@ -177,7 +191,12 @@ int main(int argc, char** argv) {
   std::cout << table.render();
   const double run_ms_total = ms_since(run_start);
   std::cout << "\nBENCH-SPLIT build_ms=" << static_cast<std::uint64_t>(build_ms)
-            << " run_ms=" << static_cast<std::uint64_t>(run_ms_total) << "\n";
+            << " run_ms=" << static_cast<std::uint64_t>(run_ms_total) << "\n"
+            << "BENCH-PHASE gen=" << static_cast<std::uint64_t>(build_ms)
+            << "\n"
+            << "BENCH-PHASE run=" << static_cast<std::uint64_t>(run_ms_total)
+            << "\n"
+            << "BENCH-RSS peak_kb=" << obs::peak_rss_kb() << "\n";
   if (!all_clean_valid) {
     std::cerr << "FAULT-SCALING FAILURE: a fault-free run produced an "
                  "invalid MIS\n";

@@ -14,6 +14,7 @@
 #include "core/sleeping_mis.h"
 #include "fault/churn.h"
 #include "fault/fault.h"
+#include "obs/obs.h"
 #include "sim/network.h"
 
 namespace slumber::analysis {
@@ -127,6 +128,15 @@ MisRun finish_run(MisEngine engine, const Graph& g, std::uint64_t seed,
   }
   run.metrics = std::move(metrics);
   run.outputs = std::move(outputs);
+  if (obs::enabled()) {
+    // End-of-run gauges for the export timeline (write-only telemetry).
+    obs::counter("messages_total",
+                 static_cast<double>(run.metrics.total_messages));
+    obs::counter("messages_lost",
+                 static_cast<double>(run.metrics.injected_losses));
+    obs::counter("crashed_nodes",
+                 static_cast<double>(run.metrics.crashed_nodes));
+  }
   return run;
 }
 
@@ -134,6 +144,7 @@ MisRun finish_run(MisEngine engine, const Graph& g, std::uint64_t seed,
 
 MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
                const RunOptions& opts) {
+  obs::Span run_span("run", "run_mis", seed);
   const bool churn = opts.fault != nullptr && opts.fault->churn.enabled();
   if (opts.exec == ExecEngine::kBulk) {
     auto protocol = bulk::bulk_mis_protocol(engine, opts.trace);
@@ -165,9 +176,13 @@ MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
       // and join in batches; each batch is followed by an incremental
       // MIS repair. The fault seed matches the engine's, so the whole
       // experiment is one deterministic function of (plan, seed).
+      obs::progress_phase("churn");
+      obs::Span churn_span("fault", "churn", opts.fault->churn.batches);
       const fault::FaultState fs(opts.fault, seed, n);
       const fault::ChurnReport report = fault::run_churn(
           g, opts.fault->churn, fs.seed(), alive, result.outputs, opts.pool);
+      obs::counter("churn_repair_rounds",
+                   static_cast<double>(report.repair_rounds));
       result.metrics.churn_batches = report.batches;
       result.metrics.churn_leaves = report.leaves;
       result.metrics.churn_joins = report.joins;

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace slumber::analysis {
@@ -45,8 +46,11 @@ auto parallel_trials(std::size_t num_trials, unsigned num_threads, Fn&& fn)
     num_threads = static_cast<unsigned>(num_trials == 0 ? 1 : num_trials);
   }
   util::ThreadPool pool(num_threads);
-  pool.parallel_for_index(num_trials,
-                          [&](std::size_t i) { results[i] = fn(i); });
+  pool.parallel_for_index(num_trials, [&](std::size_t i) {
+    // Telemetry only: attributes trial i's wall time to its lane.
+    obs::Span span("trials", "trial", i);
+    results[i] = fn(i);
+  });
   return results;
 }
 

@@ -91,6 +91,14 @@ bool parse_trial_flags(std::vector<std::string>* args, TrialSpec* spec,
       }
       spec->fault.churn.batches = static_cast<std::uint32_t>(batches);
       batches_given = true;
+    } else if (flag == "--obs-out") {
+      if (!flag_value(a, i, "--obs-out", err)) return false;
+      spec->obs.jsonl_path = a[++i];
+    } else if (flag == "--obs-trace") {
+      if (!flag_value(a, i, "--obs-trace", err)) return false;
+      spec->obs.trace_path = a[++i];
+    } else if (flag == "--progress") {
+      spec->obs.progress = true;
     } else {
       rest.push_back(std::move(a[i]));
     }

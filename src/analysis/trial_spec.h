@@ -2,12 +2,13 @@
 //
 // A TrialSpec bundles what used to be scattered per-tool flag handling:
 // the execution back end (--engine), the G(n, p) seed schedule (--gen),
-// the lane count (--threads), and the fault plan (--crash v@r, --loss p,
-// --churn rate, --churn-batches k). parse_trial_flags() consumes those
-// flags — wherever they appear — from an argument vector and leaves the
-// tool's own positional arguments behind, so the CLI's run / sweep /
-// beep commands and the bench front ends all accept the identical
-// grammar with the identical diagnostics (full-token std::from_chars
+// the lane count (--threads), the fault plan (--crash v@r, --loss p,
+// --churn rate, --churn-batches k), and the telemetry sinks (--obs-out,
+// --obs-trace, --progress). parse_trial_flags() consumes those flags —
+// wherever they appear — from an argument vector and leaves the tool's
+// own positional arguments behind, so the CLI's run / sweep / beep
+// commands and the bench front ends all accept the identical grammar
+// with the identical diagnostics (full-token std::from_chars
 // validation; unknown values are rejected with the list of valid
 // names).
 #pragma once
@@ -19,6 +20,7 @@
 #include "analysis/experiment.h"
 #include "fault/fault.h"
 #include "graph/generators.h"
+#include "obs/obs.h"
 
 namespace slumber::analysis {
 
@@ -30,6 +32,10 @@ struct TrialSpec {
   /// --threads lane count; 0 = all hardware threads.
   unsigned threads = 0;
   fault::FaultPlan fault;
+  /// Telemetry export + live progress (--obs-out / --obs-trace /
+  /// --progress). Hand it to an obs::Session in main(); no effect on
+  /// any trial output (the determinism tests pin this).
+  obs::Options obs;
 
   const fault::FaultPlan* fault_or_null() const {
     return fault.empty() ? nullptr : &fault;
@@ -57,6 +63,9 @@ struct TrialSpec {
 ///   --churn P           per-batch leave/rejoin probability; implies 4
 ///                       batches unless --churn-batches is given
 ///   --churn-batches K   number of churn batches (>= 1)
+///   --obs-out PATH      telemetry JSONL event stream (slumber-obs-v1)
+///   --obs-trace PATH    Chrome trace-event file (load in Perfetto)
+///   --progress          live stderr heartbeat with round/frame ETA
 bool parse_trial_flags(std::vector<std::string>* args, TrialSpec* spec,
                        std::ostream& err = std::cerr);
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <string>
 
+#include "obs/obs.h"
+
 namespace slumber::bulk {
 
 BulkEngine::BulkEngine(const Graph& g, std::uint64_t seed, BulkOptions options)
@@ -56,6 +58,13 @@ ScanResult BulkEngine::scan_range(
   const bool parallel = options_.pool != nullptr &&
                         options_.pool->num_threads() > 1 && total > 1 &&
                         total >= options_.parallel_cutoff;
+  // Telemetry only: spans for cutoff-sized scans, with a scan id that
+  // groups this scan's chunk spans in the export (imbalance stats).
+  // Sub-cutoff scans stay span-free so 10^7-node runs emit thousands of
+  // events, not hundreds of millions. Never read by any decision.
+  const bool traced = obs::enabled() && total >= options_.parallel_cutoff;
+  const std::uint64_t scan_id = traced ? ++obs_scan_seq_ : 0;
+  obs::Span scan_span(traced ? "engine" : nullptr, "scan", scan_id);
   if (!parallel) {
     BulkChunk chunk(this);
     fn(chunk, 0, total);
@@ -68,6 +77,7 @@ ScanResult BulkEngine::scan_range(
   std::vector<BulkChunk> parts(chunks, BulkChunk(this));
   options_.pool->parallel_for_range(
       total, [&](std::size_t c, std::size_t begin, std::size_t end) {
+        obs::Span chunk_span(traced ? "engine" : nullptr, "chunk", scan_id);
         fn(parts[c], begin, end);
       });
   // Deterministic reduction in chunk index order. Every merged quantity
@@ -94,6 +104,10 @@ void BulkEngine::mark_awake(std::span<const VertexId> awake) {
   }
   ++epoch_;
   const std::uint32_t epoch = epoch_;
+  obs::Span span(obs::enabled() && awake.size() >= options_.parallel_cutoff
+                     ? "engine"
+                     : nullptr,
+                 "mark_awake", awake.size());
   const bool parallel = options_.pool != nullptr &&
                         options_.pool->num_threads() > 1 &&
                         awake.size() >= options_.parallel_cutoff;
@@ -114,6 +128,13 @@ void BulkEngine::mark_awake(std::span<const VertexId> awake) {
 void BulkEngine::charge_round(std::span<const VertexId> awake,
                               VirtualRound round) {
   if (awake.empty()) return;
+  if (obs::enabled()) {
+    // Out-of-band progress + occupancy samples (write-only telemetry).
+    obs::progress_round(static_cast<double>(round));
+    if (awake.size() >= options_.parallel_cutoff) {
+      obs::counter("awake_set", static_cast<double>(awake.size()));
+    }
+  }
   ++metrics_.distinct_active_rounds;
   metrics_.total_awake_node_rounds += awake.size();
   virtual_makespan_ = std::max(virtual_makespan_, round);

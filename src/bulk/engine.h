@@ -321,6 +321,10 @@ class BulkEngine {
   util::PodVector<std::uint32_t> awake_epoch_;
   std::uint32_t epoch_ = 0;
   VirtualRound virtual_makespan_ = 0;
+  // Telemetry-only scan counter: groups one traced scan's chunk spans
+  // in the obs export. Bumped only while a recorder is installed and
+  // never read by the engine or any protocol.
+  std::uint64_t obs_scan_seq_ = 0;
   fault::FaultState fault_;
   // crashed_[v] != 0 iff v fail-stopped; allocated only under a plan
   // with crash faults (each slot is written by the lane owning v).

@@ -6,7 +6,9 @@
 
 #include "core/mis_state.h"
 #include "core/schedule.h"
+#include "obs/obs.h"
 #include "sim/message.h"
+#include "util/alloc.h"
 
 namespace slumber::bulk {
 namespace {
@@ -39,8 +41,8 @@ struct Walker {
   core::RecursionTrace* trace;
   std::uint32_t words_per_node;  // packed coin bits, bit i of node v at
                                  // bits[v*words + i/64] >> (i%64)
-  std::vector<std::uint64_t> bits;
-  std::vector<std::uint8_t> value;  // MisValue per node
+  util::PodVector<std::uint64_t> bits;
+  util::PodVector<std::uint8_t> value;  // MisValue per node
   std::uint32_t hello_bits;
   std::uint32_t status_bits;
   // Fault flags hoisted once per run; the fault-free hot loops pay one
@@ -83,6 +85,13 @@ struct Walker {
 
   void frame(std::uint32_t k, std::uint64_t path, VirtualRound start,
              std::vector<VertexId> members) {
+    // Telemetry: count every frame, but emit spans only for frames big
+    // enough to shard (sub-cutoff frames number in the millions at
+    // n = 10^7 and would swamp the event buffers).
+    obs::progress_frame();
+    obs::Span frame_span(
+        members.size() >= eng.options().parallel_cutoff ? "mis" : nullptr,
+        "frame", k);
     core::CallStats* stats = nullptr;
     if (trace != nullptr) {
       stats = &trace->calls[{k, path}];
@@ -236,6 +245,7 @@ void BulkSleepingMis::run(BulkEngine& engine) {
   const std::uint32_t levels =
       options_.levels != 0 ? options_.levels : core::recursion_depth(n);
 
+  obs::Span run_span("mis", "sleeping_mis", n);
   Walker w{engine,
            g,
            trace_,
@@ -246,8 +256,25 @@ void BulkSleepingMis::run(BulkEngine& engine) {
            sim::Message::status(0).bits,
            engine.crashy(),
            engine.lossy()};
-  w.bits.assign(n * w.words_per_node, 0);
-  w.value.assign(n, static_cast<std::uint8_t>(core::MisValue::kUnknown));
+
+  // First-touch placement for the protocol's per-node arrays (packed
+  // coin bits, tri-state statuses): fill them in the pool's chunk
+  // layout so each lane's slice of every subsequent sharded scan lands
+  // on pages that lane touched first. Placement only — sharded_fill
+  // writes the same value everywhere, so contents (and every result)
+  // are bitwise unaffected.
+  util::ThreadPool* touch_pool =
+      engine.options().first_touch && engine.options().pool != nullptr &&
+              engine.options().pool->num_threads() > 1
+          ? engine.options().pool
+          : nullptr;
+  {
+    obs::Span span("mis", "placement", n);
+    w.bits = util::sharded_fill<std::uint64_t>(n * w.words_per_node, 0,
+                                               touch_pool);
+    w.value = util::sharded_fill<std::uint8_t>(
+        n, static_cast<std::uint8_t>(core::MisValue::kUnknown), touch_pool);
+  }
 
   // Draw the coin bits X_1..X_K from the same per-node streams, in the
   // same order, as core::sleeping_mis's node_main. Sharded over the
@@ -256,24 +283,28 @@ void BulkSleepingMis::run(BulkEngine& engine) {
     trace_->levels = levels;
     if (trace_->bits.size() != n) trace_->bits.resize(n);
   }
-  engine.scan_range(n, [&](BulkChunk&, std::size_t begin, std::size_t end) {
-    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
-      Rng rng = engine.node_rng(v);
-      const std::uint64_t base = std::uint64_t{v} * w.words_per_node;
-      for (std::uint32_t i = 1; i <= levels; ++i) {
-        if (rng.bernoulli(options_.coin_bias)) {
-          w.bits[base + i / 64] |= std::uint64_t{1} << (i % 64);
-        }
-      }
-      if (trace_ != nullptr) {
-        std::vector<std::uint8_t>& node_bits = trace_->bits[v];
-        node_bits.assign(levels + 1, 0);
+  obs::progress_phase("coins");
+  {
+    obs::Span coin_span("mis", "draw_coins", n);
+    engine.scan_range(n, [&](BulkChunk&, std::size_t begin, std::size_t end) {
+      for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+        Rng rng = engine.node_rng(v);
+        const std::uint64_t base = std::uint64_t{v} * w.words_per_node;
         for (std::uint32_t i = 1; i <= levels; ++i) {
-          node_bits[i] = w.coin(v, i) ? 1 : 0;
+          if (rng.bernoulli(options_.coin_bias)) {
+            w.bits[base + i / 64] |= std::uint64_t{1} << (i % 64);
+          }
+        }
+        if (trace_ != nullptr) {
+          std::vector<std::uint8_t>& node_bits = trace_->bits[v];
+          node_bits.assign(levels + 1, 0);
+          for (std::uint32_t i = 1; i <= levels; ++i) {
+            node_bits[i] = w.coin(v, i) ? 1 : 0;
+          }
         }
       }
-    }
-  });
+    });
+  }
 
   std::vector<VertexId> everyone(n);
   std::iota(everyone.begin(), everyone.end(), VertexId{0});
@@ -288,8 +319,12 @@ void BulkSleepingMis::run(BulkEngine& engine) {
 
   // The root frame owns rounds [1, T(K)]; every node returns at T(K)
   // (Lemma 1's synchronization guarantee), trailing sleeps included.
-  w.frame(levels, 0, 1, std::move(everyone));
   const VirtualRound total = duration128(levels);
+  obs::progress_phase("recursion");
+  obs::progress_total(static_cast<double>(total));
+  w.frame(levels, 0, 1, std::move(everyone));
+  obs::progress_phase("finish");
+  obs::Span finish_span("mis", "final_finish", n);
   engine.scan_range(n, [&](BulkChunk& chunk, std::size_t begin,
                            std::size_t end) {
     for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {

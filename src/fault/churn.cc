@@ -1,5 +1,6 @@
 #include "fault/churn.h"
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace slumber::fault {
@@ -57,6 +58,8 @@ std::uint64_t repair_mis(const Graph& g, const std::vector<std::uint8_t>& alive,
                          std::uint64_t fault_seed, util::ThreadPool* pool,
                          std::uint64_t* demotions, std::uint64_t* promotions) {
   const std::size_t n = g.num_vertices();
+  obs::Span span(obs::enabled() && n >= kParallelCutoff ? "fault" : nullptr,
+                 "repair_mis", n);
   std::vector<std::uint8_t> in_mis(n, 0);
   for_range(pool, n, [&](std::size_t, std::size_t begin, std::size_t end) {
     for (std::size_t v = begin; v < end; ++v) {
@@ -187,6 +190,7 @@ ChurnReport run_churn(const Graph& g, const ChurnSpec& spec,
 
   for (std::uint32_t batch = 1; batch <= spec.batches; ++batch) {
     ++report.batches;
+    obs::Span batch_span("fault", "churn_batch", batch);
     // Keyed membership draws: one stream per (node, batch), so the
     // batch's composition is independent of lane count and of any other
     // RNG consumer in the run.

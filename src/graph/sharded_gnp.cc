@@ -44,6 +44,7 @@
 
 #include "graph/generators.h"
 #include "graph/gnp_detail.h"
+#include "obs/obs.h"
 #include "util/alloc.h"
 #include "util/stream_rng.h"
 #include "util/thread_pool.h"
@@ -106,6 +107,8 @@ Graph gnp_sharded_csr(VertexId n, double p, std::uint64_t seed,
   const std::uint64_t blocks = block_count(n);
   const bool first_touch =
       options.first_touch && pool != nullptr && pool->num_threads() > 1;
+  obs::progress_phase("generate");
+  obs::Span gen_span("gen", "gnp_sharded_csr", n);
 
   // --- pass 1: degree halves ----------------------------------------
   // down[x] = |{u < x adjacent to x}| (single writer: block(x));
@@ -116,20 +119,25 @@ Graph gnp_sharded_csr(VertexId n, double p, std::uint64_t seed,
       util::sharded_fill<std::uint32_t>(n, 0, first_touch ? pool : nullptr);
   std::atomic<std::uint64_t> edge_total{0};
   std::atomic<std::uint64_t> rng_digest{0};
-  for_each_block(blocks, pool, [&](std::uint64_t b) {
-    Rng rng = util::stream_rng(seed, b);
-    const VertexId lo = static_cast<VertexId>(b * kBlockVertices);
-    const VertexId hi = static_cast<VertexId>(
-        std::min<std::uint64_t>(n, (b + 1) * kBlockVertices));
-    std::uint64_t count = 0;
-    detail::for_each_gnp_edge_rows(lo, hi, p, rng, [&](VertexId u, VertexId v) {
-      ++down[v];
-      std::atomic_ref<std::uint32_t>(up[u]).fetch_add(
-          1, std::memory_order_relaxed);
-      ++count;
+  {
+    obs::Span span("gen", "degree_pass", blocks);
+    for_each_block(blocks, pool, [&](std::uint64_t b) {
+      Rng rng = util::stream_rng(seed, b);
+      const VertexId lo = static_cast<VertexId>(b * kBlockVertices);
+      const VertexId hi = static_cast<VertexId>(
+          std::min<std::uint64_t>(n, (b + 1) * kBlockVertices));
+      std::uint64_t count = 0;
+      detail::for_each_gnp_edge_rows(lo, hi, p, rng,
+                                     [&](VertexId u, VertexId v) {
+                                       ++down[v];
+                                       std::atomic_ref<std::uint32_t>(up[u])
+                                           .fetch_add(
+                                               1, std::memory_order_relaxed);
+                                       ++count;
+                                     });
+      edge_total.fetch_add(count, std::memory_order_relaxed);
     });
-    edge_total.fetch_add(count, std::memory_order_relaxed);
-  });
+  }
   const std::uint64_t m = edge_total.load(std::memory_order_relaxed);
   checked_edge_count(m, "gnp_sharded_csr");
 
@@ -137,15 +145,19 @@ Graph gnp_sharded_csr(VertexId n, double p, std::uint64_t seed,
   util::PodVector<CsrOffset> offsets =
       util::sharded_fill<CsrOffset>(std::uint64_t{n} + 1, 0,
                                     first_touch ? pool : nullptr);
-  for (VertexId v = 0; v < n; ++v) {
-    offsets[std::uint64_t{v} + 1] =
-        offsets[v] + down[v] + up[v];
+  {
+    obs::Span span("gen", "offsets", n);
+    for (VertexId v = 0; v < n; ++v) {
+      offsets[std::uint64_t{v} + 1] =
+          offsets[v] + down[v] + up[v];
+    }
   }
   // cursor[u] starts at the first slot of u's up half and is bumped by
   // a relaxed fetch_add per cross-block write in pass 2.
   util::PodVector<CsrOffset> cursor;
   cursor.resize(n);
   {
+    obs::Span span("gen", "cursor_init", n);
     CsrOffset* cur = cursor.data();
     const CsrOffset* off = offsets.data();
     const std::uint32_t* dn = down.data();
@@ -169,31 +181,37 @@ Graph gnp_sharded_csr(VertexId n, double p, std::uint64_t seed,
                      for (std::uint64_t i = begin; i < end; ++i) adj[i] = 0;
                    });
   }
-  for_each_block(blocks, pool, [&](std::uint64_t b) {
-    Rng rng = util::stream_rng(seed, b);
-    const VertexId lo = static_cast<VertexId>(b * kBlockVertices);
-    const VertexId hi = static_cast<VertexId>(
-        std::min<std::uint64_t>(n, (b + 1) * kBlockVertices));
-    VertexId row = kInvalidVertex;
-    CsrOffset row_cursor = 0;
-    detail::for_each_gnp_edge_rows(lo, hi, p, rng, [&](VertexId u, VertexId v) {
-      if (v != row) {
-        row = v;
-        row_cursor = offsets[v];
-      }
-      adjacency[row_cursor++] = u;  // down half, u ascending within row
-      const CsrOffset slot = std::atomic_ref<CsrOffset>(cursor[u]).fetch_add(
-          1, std::memory_order_relaxed);
-      adjacency[slot] = v;  // up half, position fixed by the sort below
+  {
+    obs::Span span("gen", "fill_pass", blocks);
+    for_each_block(blocks, pool, [&](std::uint64_t b) {
+      Rng rng = util::stream_rng(seed, b);
+      const VertexId lo = static_cast<VertexId>(b * kBlockVertices);
+      const VertexId hi = static_cast<VertexId>(
+          std::min<std::uint64_t>(n, (b + 1) * kBlockVertices));
+      VertexId row = kInvalidVertex;
+      CsrOffset row_cursor = 0;
+      detail::for_each_gnp_edge_rows(
+          lo, hi, p, rng, [&](VertexId u, VertexId v) {
+            if (v != row) {
+              row = v;
+              row_cursor = offsets[v];
+            }
+            adjacency[row_cursor++] = u;  // down half, ascending in row
+            const CsrOffset slot =
+                std::atomic_ref<CsrOffset>(cursor[u]).fetch_add(
+                    1, std::memory_order_relaxed);
+            adjacency[slot] = v;  // up half, position fixed by the sort
+          });
+      // The stream's next draw after generation is a pure function of
+      // (seed, b); the wrapping sum over blocks is order-free.
+      rng_digest.fetch_add(rng.next(), std::memory_order_relaxed);
     });
-    // The stream's next draw after generation is a pure function of
-    // (seed, b); the wrapping sum over blocks is order-free.
-    rng_digest.fetch_add(rng.next(), std::memory_order_relaxed);
-  });
+  }
   util::PodVector<CsrOffset>().swap(cursor);
 
   // --- canonicalize the up halves -----------------------------------
   {
+    obs::Span span("gen", "sort_up_halves", n);
     VertexId* adj = adjacency.data();
     const CsrOffset* off = offsets.data();
     const std::uint32_t* dn = down.data();

@@ -1,0 +1,284 @@
+// Export sinks for the telemetry layer: the slumber-obs-v1 JSONL
+// event stream and the Chrome trace-event file (Perfetto-loadable).
+// Runs once at Session teardown on already-merged data; nothing here
+// is on a hot path.
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/proc_stats.h"
+
+// Baked in by src/CMakeLists.txt for this translation unit only.
+#ifndef SLUMBER_GIT_SHA
+#define SLUMBER_GIT_SHA "unknown"
+#endif
+#ifndef SLUMBER_BUILD_TYPE
+#define SLUMBER_BUILD_TYPE "unknown"
+#endif
+
+namespace slumber::obs::detail {
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microseconds with nanosecond precision, shortest faithful form.
+std::string us(std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+std::string num(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string u64(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+/// Chunk-imbalance aggregate: chunk spans grouped by their scan id
+/// (the `arg` every chunk of one scan shares); a scan's imbalance is
+/// max chunk duration over mean chunk duration.
+struct Imbalance {
+  std::uint64_t scans = 0;
+  double max_ratio = 0.0;
+  double mean_ratio = 0.0;
+};
+
+Imbalance chunk_imbalance(const std::vector<Event>& events) {
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+      per_scan;  // arg -> (count, max), plus sum tracked below
+  std::map<std::uint64_t, std::uint64_t> sums;
+  for (const Event& event : events) {
+    if (event.kind != EventKind::kSpan) continue;
+    if (std::string_view(event.name) != "chunk") continue;
+    auto& [count, max_dur] = per_scan[event.arg];
+    ++count;
+    max_dur = std::max(max_dur, event.dur_ns);
+    sums[event.arg] += event.dur_ns;
+  }
+  Imbalance result;
+  double ratio_sum = 0.0;
+  for (const auto& [arg, stats] : per_scan) {
+    const auto& [count, max_dur] = stats;
+    if (count < 2 || sums[arg] == 0) continue;
+    const double mean =
+        static_cast<double>(sums[arg]) / static_cast<double>(count);
+    const double ratio = static_cast<double>(max_dur) / mean;
+    ++result.scans;
+    result.max_ratio = std::max(result.max_ratio, ratio);
+    ratio_sum += ratio;
+  }
+  if (result.scans != 0) {
+    result.mean_ratio = ratio_sum / static_cast<double>(result.scans);
+  }
+  return result;
+}
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpan:
+      return "span";
+    case EventKind::kCounter:
+      return "counter";
+    case EventKind::kInstant:
+      return "instant";
+  }
+  return "unknown";
+}
+
+std::string manifest_json(const Dump& dump) {
+  // Built with += chains: GCC 12's -Wrestrict misfires on the
+  // `"literal" + rvalue-string` operator+ overload (PR105651).
+  std::string line = "{\"type\":\"manifest\",\"schema\":\"slumber-obs-v1\"";
+  line += ",\"git_sha\":\"";
+  line += escape(SLUMBER_GIT_SHA);
+  line += "\",\"build\":\"";
+  line += escape(SLUMBER_BUILD_TYPE);
+  line += "\",\"host\":\"";
+  line += escape(proc::host_string());
+  line += "\",\"pid\":";
+  line += u64(proc::process_id());
+  line += ",\"start_unix_ms\":";
+  line += u64(dump.start_unix_ms);
+  line += ",\"info\":{";
+  bool first = true;
+  for (const auto& [key, value] : dump.info) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    line += escape(key);
+    line += "\":\"";
+    line += escape(value);
+    line += '"';
+  }
+  line += "}}";
+  return line;
+}
+
+std::string footer_json(const Dump& dump) {
+  const Imbalance imbalance = chunk_imbalance(dump.events);
+  std::string line = "{\"type\":\"footer\",\"events\":";
+  line += u64(dump.events.size());
+  line += ",\"dropped\":";
+  line += u64(dump.dropped);
+  line += ",\"wall_ms\":";
+  line += num(static_cast<double>(dump.wall_ns) / 1e6);
+  line += ",\"peak_rss_kb\":";
+  line += u64(dump.peak_rss_kb);
+  line += ",\"frames\":";
+  line += u64(dump.frames);
+  line += ",\"lanes\":[";
+  bool first = true;
+  for (const auto& [lane, busy_ns] : dump.lane_busy_ns) {
+    if (!first) line += ',';
+    first = false;
+    line += "{\"lane\":";
+    line += u64(lane);
+    line += ",\"busy_ms\":";
+    line += num(static_cast<double>(busy_ns) / 1e6);
+    line += '}';
+  }
+  line += "],\"chunk_scans\":";
+  line += u64(imbalance.scans);
+  line += ",\"chunk_imbalance_max\":";
+  line += num(imbalance.max_ratio);
+  line += ",\"chunk_imbalance_mean\":";
+  line += num(imbalance.mean_ratio);
+  line += '}';
+  return line;
+}
+
+}  // namespace
+
+bool write_jsonl(const std::string& path, const Dump& dump) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << manifest_json(dump) << '\n';
+  for (const Event& event : dump.events) {
+    std::string line = "{\"type\":\"";
+    line += kind_name(event.kind);
+    line += "\"";
+    if (event.cat != nullptr) {
+      line += ",\"cat\":\"";
+      line += event.cat;
+      line += "\"";
+    }
+    line += ",\"name\":\"";
+    line += event.name != nullptr ? event.name : "";
+    line += "\",\"ts_us\":";
+    line += us(event.ts_ns);
+    if (event.kind == EventKind::kSpan) {
+      line += ",\"dur_us\":";
+      line += us(event.dur_ns);
+    }
+    if (event.kind == EventKind::kCounter) {
+      line += ",\"value\":";
+      line += num(event.value);
+    } else {
+      line += ",\"arg\":";
+      line += u64(event.arg);
+    }
+    line += ",\"lane\":";
+    line += u64(event.lane);
+    line += ",\"tid\":";
+    line += u64(event.tid);
+    line += '}';
+    out << line << '\n';
+  }
+  out << footer_json(dump) << '\n';
+  out.flush();
+  return out.good();
+}
+
+bool write_trace(const std::string& path, const Dump& dump) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  const std::string pid = u64(proc::process_id());
+  out << "{\"traceEvents\":[\n";
+  std::string sep;
+  out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"name\":\"slumber\"}}";
+  sep = ",\n";
+  for (const auto& [tid, label] : dump.threads) {
+    out << sep << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+        << ",\"tid\":" << u64(tid) << ",\"args\":{\"name\":\""
+        << escape(label) << "\"}}";
+  }
+  for (const Event& event : dump.events) {
+    out << sep;
+    switch (event.kind) {
+      case EventKind::kSpan:
+        out << "{\"ph\":\"X\",\"name\":\"" << event.name << "\",\"cat\":\""
+            << (event.cat != nullptr ? event.cat : "obs")
+            << "\",\"ts\":" << us(event.ts_ns)
+            << ",\"dur\":" << us(event.dur_ns) << ",\"pid\":" << pid
+            << ",\"tid\":" << u64(event.tid) << ",\"args\":{\"arg\":"
+            << u64(event.arg) << ",\"lane\":" << u64(event.lane) << "}}";
+        break;
+      case EventKind::kCounter:
+        out << "{\"ph\":\"C\",\"name\":\"" << event.name
+            << "\",\"ts\":" << us(event.ts_ns) << ",\"pid\":" << pid
+            << ",\"tid\":" << u64(event.tid) << ",\"args\":{\"value\":"
+            << num(event.value) << "}}";
+        break;
+      case EventKind::kInstant:
+        out << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << event.name
+            << "\",\"cat\":\"" << (event.cat != nullptr ? event.cat : "obs")
+            << "\",\"ts\":" << us(event.ts_ns) << ",\"pid\":" << pid
+            << ",\"tid\":" << u64(event.tid) << ",\"args\":{\"arg\":"
+            << u64(event.arg) << "}}";
+        break;
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      << "\"schema\":\"slumber-obs-v1\",\"git_sha\":\"" << SLUMBER_GIT_SHA
+      << "\",\"build\":\"" << SLUMBER_BUILD_TYPE << "\",\"wall_ms\":"
+      << num(static_cast<double>(dump.wall_ns) / 1e6) << ",\"peak_rss_kb\":"
+      << u64(dump.peak_rss_kb) << "}}\n";
+  out.flush();
+  return out.good();
+}
+
+}  // namespace slumber::obs::detail

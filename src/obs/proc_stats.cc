@@ -1,0 +1,61 @@
+#include "obs/proc_stats.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#define SLUMBER_OBS_HAVE_UNISTD 1
+#endif
+
+namespace slumber::obs::proc {
+namespace {
+
+/// Reads one "Key: value kB" field from /proc/self/status. Returns 0
+/// when the file or the key is missing (non-Linux hosts).
+std::uint64_t status_field_kb(const std::string& key) {
+  std::ifstream status("/proc/self/status");
+  if (!status.is_open()) return 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(key, 0) != 0) continue;
+    std::istringstream fields(line.substr(key.size()));
+    std::uint64_t kb = 0;
+    fields >> kb;
+    return kb;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t current_rss_kb() { return status_field_kb("VmRSS:"); }
+
+std::uint64_t peak_rss_kb() { return status_field_kb("VmHWM:"); }
+
+std::string host_string() {
+#if defined(SLUMBER_OBS_HAVE_UNISTD)
+  utsname info{};
+  if (uname(&info) != 0) return {};
+  std::string host = info.sysname;
+  host += ' ';
+  host += info.release;
+  host += ' ';
+  host += info.machine;
+  return host;
+#else
+  return {};
+#endif
+}
+
+std::uint64_t process_id() {
+#if defined(SLUMBER_OBS_HAVE_UNISTD)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace slumber::obs::proc

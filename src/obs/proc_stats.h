@@ -1,0 +1,25 @@
+// Process-level measurements for the telemetry layer: RSS from
+// /proc/self/status and a host identification string. Everything here
+// is read-only with respect to the process and out-of-band with
+// respect to simulation state; the readers degrade to zeros / empty
+// strings on platforms without procfs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace slumber::obs::proc {
+
+/// Current resident set size (VmRSS) in kB; 0 if unavailable.
+std::uint64_t current_rss_kb();
+
+/// Peak resident set size (VmHWM) in kB; 0 if unavailable.
+std::uint64_t peak_rss_kb();
+
+/// "sysname release machine" from uname(2); empty if unavailable.
+std::string host_string();
+
+/// Process id; 0 if unavailable.
+std::uint64_t process_id();
+
+}  // namespace slumber::obs::proc

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace slumber::util {
 
 namespace {
@@ -21,7 +23,12 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) num_threads = hardware_threads();
   workers_.reserve(num_threads - 1);
   for (unsigned i = 0; i + 1 < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    // Lane 0 is the fork-join caller; workers take 1..N-1. The tag is
+    // telemetry-only (event attribution in src/obs/).
+    workers_.emplace_back([this, i] {
+      obs::set_lane(i + 1);
+      worker_loop();
+    });
   }
 }
 
@@ -37,6 +44,9 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::drain_batch(const std::function<void(std::size_t)>& fn) {
   const ThreadPool* const outer = t_draining_pool;
   t_draining_pool = this;
+  // Busy bracketing feeds the per-lane utilization totals in the obs
+  // export footer; the measured duration never leaves the obs layer.
+  obs::lane_work_begin();
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= num_items_) break;
@@ -50,6 +60,7 @@ void ThreadPool::drain_batch(const std::function<void(std::size_t)>& fn) {
       break;
     }
   }
+  obs::lane_work_end();
   t_draining_pool = outer;
 }
 

@@ -13,13 +13,20 @@ current run is fatal on its own.
 Benches that report a build-vs-run wall split (schema slumber-bench-v2,
 "build_ms"/"run_ms" fields) get the split printed alongside the total;
 entries without the split (v1 files, non-split benches) are handled
-identically to before. The gate itself stays on total wall time: the
-split is diagnostic, pinpointing whether a regression lives in graph
-construction or simulation.
+identically to before. Schema slumber-bench-v3 adds a per-bench
+"phases" object (named wall-time splits) and "peak_rss_kb"; either
+file may be v2 or v3 — a mixed pair is compared on the shared fields
+with an explicit warning, and a peak-RSS growth beyond --rss-ratio is
+reported as a warning but never gates (RSS is machine- and
+allocator-sensitive; the committed trajectory is what to eyeball).
+Any other "schema" value is rejected as malformed input. The gate
+itself stays on total wall time: splits and phases are diagnostic,
+pinpointing whether a regression lives in graph construction or
+simulation.
 
 Usage:
     tools/compare_bench.py BASELINE.json CURRENT.json \
-        [--max-ratio 1.5] [--floor-ms 100]
+        [--max-ratio 1.5] [--floor-ms 100] [--rss-ratio 1.3]
 
 Exit status: 0 when clean, 1 on any regression or failed bench, 2 on
 malformed input.
@@ -35,12 +42,21 @@ import json
 import sys
 
 
+# Schemas this gate knows how to diff. None covers v1 files, which
+# predate the "schema" field.
+KNOWN_SCHEMAS = (None, "slumber-bench-v2", "slumber-bench-v3")
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"error: cannot read {path}: {err}")
+    schema = doc.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        sys.exit(f"error: {path}: unknown schema {schema!r} "
+                 f"(this gate understands slumber-bench-v2 and -v3)")
     benches = doc.get("benches")
     if not isinstance(benches, list):
         sys.exit(f"error: {path}: missing 'benches' list")
@@ -50,7 +66,7 @@ def load(path):
         if not name or "wall_ms" not in entry:
             sys.exit(f"error: {path}: malformed bench entry {entry!r}")
         by_name[name] = entry
-    return by_name
+    return by_name, schema
 
 
 def fmt_ms(entry):
@@ -61,6 +77,18 @@ def fmt_ms(entry):
     if "build_ms" in entry and "run_ms" in entry:
         text += f" ({entry['build_ms']}b/{entry['run_ms']}r)"
     return text
+
+
+def phase_detail(base, cur):
+    """Per-phase ratios for a regressed bench, for both-sided phases."""
+    base_phases = base.get("phases") or {}
+    cur_phases = cur.get("phases") or {}
+    parts = []
+    for phase in sorted(set(base_phases) & set(cur_phases)):
+        base_ms, cur_ms = base_phases[phase], cur_phases[phase]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        parts.append(f"{phase} {base_ms} -> {cur_ms} ms ({ratio:.2f}x)")
+    return "; ".join(parts)
 
 
 def main():
@@ -74,14 +102,22 @@ def main():
     parser.add_argument("--floor-ms", type=int, default=100,
                         help="ignore regressions smaller than this many "
                              "ms in absolute terms (default: 100)")
+    parser.add_argument("--rss-ratio", type=float, default=1.3,
+                        help="warn (never fail) when peak RSS grew beyond "
+                             "this ratio (default: 1.3)")
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    baseline, base_schema = load(args.baseline)
+    current, cur_schema = load(args.current)
+    if base_schema != cur_schema:
+        print(f"warning: mixed schemas ({base_schema!r} baseline vs "
+              f"{cur_schema!r} current); comparing shared fields only",
+              file=sys.stderr)
 
     regressions = []
     failures = []
     one_sided = []
+    rss_warnings = []
     rows = []
     for name in sorted(set(baseline) | set(current)):
         base = baseline.get(name)
@@ -103,10 +139,15 @@ def main():
         note = f"{ratio:.2f}x"
         if cur_ms > args.max_ratio * base_ms and \
                 cur_ms - base_ms >= args.floor_ms:
-            regressions.append((name, base_ms, cur_ms, ratio))
+            regressions.append((name, base_ms, cur_ms, ratio, base, cur))
             note += f"  REGRESSION (> {args.max_ratio}x)"
         elif cur_ms > args.max_ratio * base_ms:
             note += "  (over ratio, under floor; ignored)"
+        # Peak RSS is advisory only: warn past --rss-ratio, never gate
+        # (allocator and machine noise would flake a hard gate).
+        base_kb, cur_kb = base.get("peak_rss_kb"), cur.get("peak_rss_kb")
+        if base_kb and cur_kb and cur_kb > args.rss_ratio * base_kb:
+            rss_warnings.append((name, base_kb, cur_kb, cur_kb / base_kb))
         rows.append((name, base, cur, note))
 
     width = max(len(name) for name, *_ in rows) if rows else 10
@@ -117,6 +158,10 @@ def main():
 
     for name, why in one_sided:
         print(f"warning: bench {name}: {why}; not gated", file=sys.stderr)
+    for name, base_kb, cur_kb, ratio in rss_warnings:
+        print(f"warning: bench {name}: peak RSS {base_kb} kB -> {cur_kb} kB "
+              f"({ratio:.2f}x > {args.rss_ratio}x); advisory only, not gated",
+              file=sys.stderr)
 
     ok = True
     if failures:
@@ -128,9 +173,12 @@ def main():
         print(f"\nerror: {len(regressions)} wall-time regression(s) beyond "
               f"{args.max_ratio}x (+{args.floor_ms} ms floor):",
               file=sys.stderr)
-        for name, base_ms, cur_ms, ratio in regressions:
+        for name, base_ms, cur_ms, ratio, base, cur in regressions:
             print(f"  {name}: {base_ms} ms -> {cur_ms} ms ({ratio:.2f}x)",
                   file=sys.stderr)
+            detail = phase_detail(base, cur)
+            if detail:
+                print(f"    phases: {detail}", file=sys.stderr)
         print("If intentional, refresh BENCH_baseline.json (see this "
               "script's docstring).", file=sys.stderr)
     if ok:

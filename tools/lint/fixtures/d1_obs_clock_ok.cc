@@ -1,0 +1,30 @@
+// Must-pass fixture for the src/obs/-scoped slumber-d1 exemption: the
+// telemetry layer is the one place in src/ allowed to read the wall
+// clock (its out-of-band contract keeps timestamps away from every
+// decided output). It may also consume its own measurement helpers.
+// No findings allowed anywhere in this file.
+#include <chrono>
+#include <cstdint>
+
+namespace slumber::obs {
+
+namespace proc {
+std::uint64_t peak_rss_kb();
+}  // namespace proc
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+std::uint64_t stamp_ms() {
+  const auto now = std::chrono::system_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+std::uint64_t own_measurement() { return proc::peak_rss_kb(); }
+
+}  // namespace slumber::obs

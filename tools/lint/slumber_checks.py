@@ -11,6 +11,13 @@ so this checker enforces them directly:
               thread::hardware_concurrency outside the documented
               default_trial_threads precedence chain
               (src/util/thread_pool.cc is the single allowed site).
+              src/obs/ is the one scope allowed to read the wall
+              clock: the telemetry layer is out-of-band by contract
+              (timestamps flow to sinks only, never back into a
+              schedule or decided output). Outside src/obs/, src/ code
+              must also never *read* telemetry back (obs::peak_rss_kb,
+              obs::proc::*): a measurement feeding a decision would
+              make trial output machine-dependent.
               src/fault/ additionally bans sequential RNG state (Rng
               construction, Rng::split, engine node_rng streams): every
               fault decision must be a pure keyed util::stream_rng
@@ -284,6 +291,28 @@ D1_PATTERNS = (
     (re.compile(r"\bhardware_concurrency\b"), "hardware_concurrency"),
 )
 
+# src/obs/ exemption: the telemetry layer is the repo's one sanctioned
+# wall-clock consumer. Its out-of-band contract (timestamps reach the
+# JSONL/trace sinks and the stderr heartbeat only — never an RNG, a
+# schedule, or a decided output) is what the obs on/off bitwise-identity
+# tests pin, so clock reads there cannot perturb the science.
+D1_OBS_SCOPE_PREFIX = "src/obs/"
+D1_OBS_ALLOWED_NAMES = {"std::chrono::*::now"}
+
+# The readback half of that contract: src/ code outside src/obs/ must
+# never consume a telemetry value. These are write-only APIs from the
+# library's point of view; reading one back would let a measured
+# quantity (RSS, wall time) steer computation.
+D1_OBS_READBACK_PATTERNS = (
+    (re.compile(r"\bobs::(?:peak_rss_kb\s*\(|proc::)"),
+     "telemetry readback"),
+)
+
+D1_OBS_READBACK_EXPLANATION = (
+    "telemetry values are write-only outside src/obs/: a measured "
+    "quantity steering src/ computation would make trial output "
+    "machine-dependent (bench/ and tools/ may read them)")
+
 # src/fault/ extension: the fault layer's contract is that every
 # probabilistic decision is a pure function of (seed, entity) via
 # util::stream_rng. Sequential generator state — a constructed Rng, a
@@ -331,6 +360,7 @@ def check_d1(src: SourceFile, suppressed: dict[int, set[str]],
              scope_path: str) -> list[Finding]:
     if not scope_path.startswith(D1_SCOPE_PREFIX):
         return []
+    in_obs_scope = scope_path.startswith(D1_OBS_SCOPE_PREFIX)
     findings = []
     for idx, line in enumerate(src.code):
         for pattern, name in D1_PATTERNS:
@@ -338,11 +368,22 @@ def check_d1(src: SourceFile, suppressed: dict[int, set[str]],
                 continue
             if (scope_path, name) in D1_ALLOWLIST:
                 continue
+            if in_obs_scope and name in D1_OBS_ALLOWED_NAMES:
+                continue
             if is_suppressed(suppressed, idx, "slumber-d1"):
                 continue
             findings.append(Finding(
                 src.path, idx + 1, "slumber-d1",
                 f"{name}: {D1_EXPLANATIONS[name]}"))
+        if not in_obs_scope:
+            for pattern, name in D1_OBS_READBACK_PATTERNS:
+                if not pattern.search(line):
+                    continue
+                if is_suppressed(suppressed, idx, "slumber-d1"):
+                    continue
+                findings.append(Finding(
+                    src.path, idx + 1, "slumber-d1",
+                    f"{name}: {D1_OBS_READBACK_EXPLANATION}"))
     if scope_path.startswith(D1_FAULT_SCOPE_PREFIX):
         for idx, line in enumerate(src.code):
             for pattern, name in D1_FAULT_PATTERNS:
@@ -679,9 +720,14 @@ def run_self_test(fixtures_dir: str) -> int:
         flagged_expectations += len(expected)
         # Fixtures exercise every rule regardless of directory scope:
         # analyze them as if they lived under src/; d1_fault_* fixtures
-        # target the src/fault/-scoped extension and are analyzed there.
-        scope = (f"src/fault/{name}" if name.startswith("d1_fault_")
-                 else f"src/fixtures/{name}")
+        # target the src/fault/-scoped extension, d1_obs_* the
+        # src/obs/-scoped wall-clock exemption, and are analyzed there.
+        if name.startswith("d1_fault_"):
+            scope = f"src/fault/{name}"
+        elif name.startswith("d1_obs_"):
+            scope = f"src/obs/{name}"
+        else:
+            scope = f"src/fixtures/{name}"
         actual_findings = analyze_file(abspath, scope)
         actual = {(f.line, f.rule) for f in actual_findings}
         for line_no, rule in sorted(expected - actual):

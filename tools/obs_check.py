@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Structural validator for slumber telemetry exports (slumber-obs-v1).
+
+Checks a JSONL event stream written by `--obs-out` (and optionally the
+Chrome trace-event file written by `--obs-trace`) for schema
+conformance, so CI can assert that an instrumented run produced a
+well-formed export without eyeballing Perfetto:
+
+  * every line parses as a JSON object;
+  * the first line is the manifest (type "manifest", schema
+    "slumber-obs-v1", git_sha / build / host / pid / start_unix_ms /
+    info all present);
+  * every other line is a span / counter / instant event with the
+    fields the schema fixes for its type (ts_us always; dur_us for
+    spans; value for counters; events carry lane and tid);
+  * the last line is the footer (totals, per-lane busy time, chunk
+    imbalance summary), and its event count matches the stream;
+  * per (tid), span intervals nest properly — spans are emitted at
+    scope exit, so sorted by (start, -end) they must form a stack.
+
+With --trace TRACE.json the Chrome file is additionally checked: valid
+JSON, a traceEvents list whose X entries carry ts/dur/pid/tid, plus
+the process-name metadata Perfetto uses for labeling.
+
+Usage:
+    tools/obs_check.py RUN.jsonl [--trace TRACE.json]
+
+Exit status: 0 when valid, 1 on any schema violation, 2 on unreadable
+input. Dependency-free by design (stdlib json only).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "slumber-obs-v1"
+MANIFEST_FIELDS = ("schema", "git_sha", "build", "host", "pid",
+                   "start_unix_ms", "info")
+FOOTER_FIELDS = ("events", "dropped", "wall_ms", "peak_rss_kb", "frames",
+                 "lanes")
+EVENT_TYPES = ("span", "counter", "instant")
+
+
+class Violation(Exception):
+    pass
+
+
+def fail(line_no, why):
+    raise Violation(f"line {line_no}: {why}")
+
+
+def check_event(line_no, event):
+    kind = event.get("type")
+    if kind not in EVENT_TYPES:
+        fail(line_no, f"unknown event type {kind!r}")
+    for key in ("name", "ts_us", "lane", "tid"):
+        if key not in event:
+            fail(line_no, f"{kind} event missing {key!r}")
+    if kind == "span" and "dur_us" not in event:
+        fail(line_no, "span event missing 'dur_us'")
+    if kind == "counter" and "value" not in event:
+        fail(line_no, "counter event missing 'value'")
+
+
+def check_nesting(spans):
+    """Spans of one tid, sorted by (start, -end), must form a stack:
+    each span either nests inside the enclosing one or starts after it
+    ends. Overlap without containment means broken bracketing."""
+    violations = []
+    for tid in sorted(spans):
+        stack = []
+        for start, end, name, line_no in sorted(
+                spans[tid], key=lambda s: (s[0], -s[1])):
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                enclosing = stack[-1]
+                violations.append(
+                    f"line {line_no}: span '{name}' "
+                    f"[{start}, {end}) on tid {tid} overlaps "
+                    f"'{enclosing[2]}' [{enclosing[0]}, {enclosing[1]}) "
+                    f"without nesting")
+                continue
+            stack.append((start, end, name, line_no))
+    return violations
+
+
+def check_jsonl(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if not lines:
+        raise Violation("empty file: expected at least manifest + footer")
+
+    docs = []
+    for idx, line in enumerate(lines, start=1):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(idx, f"not valid JSON: {err}")
+        if not isinstance(doc, dict):
+            fail(idx, "line is not a JSON object")
+        docs.append(doc)
+
+    manifest = docs[0]
+    if manifest.get("type") != "manifest":
+        fail(1, f"first line must be the manifest, got {manifest.get('type')!r}")
+    if manifest.get("schema") != SCHEMA:
+        fail(1, f"manifest schema {manifest.get('schema')!r}, want {SCHEMA!r}")
+    for key in MANIFEST_FIELDS:
+        if key not in manifest:
+            fail(1, f"manifest missing {key!r}")
+    if not isinstance(manifest["info"], dict):
+        fail(1, "manifest 'info' must be an object")
+
+    footer = docs[-1]
+    if footer.get("type") != "footer":
+        fail(len(docs), f"last line must be the footer, got "
+                        f"{footer.get('type')!r}")
+    for key in FOOTER_FIELDS:
+        if key not in footer:
+            fail(len(docs), f"footer missing {key!r}")
+    if not isinstance(footer["lanes"], list):
+        fail(len(docs), "footer 'lanes' must be a list")
+    for lane in footer["lanes"]:
+        if "lane" not in lane or "busy_ms" not in lane:
+            fail(len(docs), f"footer lane entry {lane!r} missing "
+                            f"'lane'/'busy_ms'")
+
+    counts = dict.fromkeys(EVENT_TYPES, 0)
+    spans_by_tid = {}
+    for idx, event in enumerate(docs[1:-1], start=2):
+        check_event(idx, event)
+        counts[event["type"]] += 1
+        if event["type"] == "span":
+            start = float(event["ts_us"])
+            spans_by_tid.setdefault(event["tid"], []).append(
+                (start, start + float(event["dur_us"]), event["name"], idx))
+
+    total = sum(counts.values())
+    if footer["events"] != total:
+        fail(len(docs), f"footer counts {footer['events']} events, "
+                        f"stream has {total}")
+
+    nesting = check_nesting(spans_by_tid)
+    if nesting:
+        raise Violation("; ".join(nesting[:5]) +
+                        (f" (+{len(nesting) - 5} more)"
+                         if len(nesting) > 5 else ""))
+    return counts, manifest
+
+
+def check_trace(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        raise Violation(f"trace is not valid JSON: {err}") from err
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise Violation("trace missing 'traceEvents' list")
+    phases = {}
+    saw_process_name = False
+    for idx, event in enumerate(events):
+        ph = event.get("ph")
+        phases[ph] = phases.get(ph, 0) + 1
+        if ph == "M" and event.get("name") == "process_name":
+            saw_process_name = True
+        if ph == "X":
+            for key in ("name", "ts", "dur", "pid", "tid"):
+                if key not in event:
+                    raise Violation(
+                        f"traceEvents[{idx}]: X event missing {key!r}")
+    if not saw_process_name:
+        raise Violation("trace has no process_name metadata event")
+    other = doc.get("otherData", {})
+    if other.get("schema") != SCHEMA:
+        raise Violation(f"trace otherData schema {other.get('schema')!r}, "
+                        f"want {SCHEMA!r}")
+    return phases
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate slumber-obs-v1 telemetry exports.")
+    parser.add_argument("jsonl", help="JSONL stream from --obs-out")
+    parser.add_argument("--trace", help="Chrome trace file from --obs-trace")
+    args = parser.parse_args()
+
+    try:
+        counts, manifest = check_jsonl(args.jsonl)
+    except Violation as err:
+        print(f"obs_check: {args.jsonl}: INVALID: {err}", file=sys.stderr)
+        return 1
+    summary = ", ".join(f"{counts[t]} {t}s" for t in EVENT_TYPES)
+    print(f"obs_check: {args.jsonl}: OK ({summary}; "
+          f"git {manifest['git_sha']}, build {manifest['build']})")
+
+    if args.trace:
+        try:
+            phases = check_trace(args.trace)
+        except Violation as err:
+            print(f"obs_check: {args.trace}: INVALID: {err}", file=sys.stderr)
+            return 1
+        shape = ", ".join(f"{count} {ph!r}"
+                          for ph, count in sorted(phases.items()))
+        print(f"obs_check: {args.trace}: OK ({shape})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,10 +10,12 @@
 # wall-clock and its exit status recorded. Benches that print a
 # `BENCH-SPLIT build_ms=<b> run_ms=<r>` line (the bulk benches) also
 # get their build-vs-run wall split recorded as "build_ms"/"run_ms"
-# fields — schema slumber-bench-v2; tools/compare_bench.py accepts
-# entries with or without the split. bench_sim_micro is a
-# google-benchmark binary with its own timing loop and is skipped here;
-# run it directly for microbenchmark numbers.
+# fields; `BENCH-PHASE <name>=<ms>` lines become a per-phase "phases"
+# object and a `BENCH-RSS peak_kb=<kb>` line a "peak_rss_kb" field —
+# schema slumber-bench-v3. tools/compare_bench.py accepts v2 and v3
+# baselines, and entries with or without the extras. bench_sim_micro
+# is a google-benchmark binary with its own timing loop and is skipped
+# here; run it directly for microbenchmark numbers.
 #
 # bench_bulk_scaling is the heavyweight entry (~45 s: it climbs to an
 # n = 10M bulk SleepingMIS trial and self-checks engine equivalence);
@@ -73,6 +75,23 @@ for bench in "$bench_dir"/bench_*; do
   else
     echo "  $name: $status (${wall_ms} ms)"
   fi
+  # Named per-phase wall times (one BENCH-PHASE line each) become a
+  # "phases" object; a BENCH-RSS line becomes "peak_rss_kb".
+  phases=""
+  while IFS= read -r phase_line; do
+    phase_name=${phase_line#BENCH-PHASE }
+    phase_name=${phase_name%%=*}
+    phase_ms=${phase_line##*=}
+    [[ -n "$phases" ]] && phases+=", "
+    phases+="\"$phase_name\": $phase_ms"
+  done < <(grep -o 'BENCH-PHASE [a-z_]*=[0-9]*' "$log")
+  if [[ -n "$phases" ]]; then
+    extra+=", \"phases\": {$phases}"
+  fi
+  rss=$(grep -o 'BENCH-RSS peak_kb=[0-9]*' "$log" | tail -1)
+  if [[ -n "$rss" ]]; then
+    extra+=", \"peak_rss_kb\": ${rss##*=}"
+  fi
   entries+=("    {\"name\": \"$name\", \"status\": \"$status\", \"wall_ms\": $wall_ms$extra}")
 done
 
@@ -83,7 +102,7 @@ fi
 
 {
   echo "{"
-  echo "  \"schema\": \"slumber-bench-v2\","
+  echo "  \"schema\": \"slumber-bench-v3\","
   echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"host\": \"$(uname -srm)\","
   echo "  \"git_rev\": \"$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)\","

@@ -29,6 +29,12 @@
 // incremental MIS repair. Churn needs `--engine bulk`. All fault
 // streams are engine- and lane-count-independent.
 //
+// Telemetry flags (any command; see obs/obs.h): `--obs-out run.jsonl`
+// streams slumber-obs-v1 events, `--obs-trace trace.json` writes a
+// Chrome trace-event file for Perfetto, `--progress` prints a live
+// stderr heartbeat. All three are strictly out-of-band: every decided
+// output is bitwise identical with and without them.
+//
 //   slumber families
 //       List the built-in graph families.
 //   slumber engines
@@ -82,6 +88,7 @@
 #include "graph/io.h"
 #include "graph/properties.h"
 #include "fault/fault.h"
+#include "obs/obs.h"
 #include "sim/network.h"
 #include "sim/trace.h"
 #include "util/parse.h"
@@ -136,7 +143,8 @@ int usage() {
   std::cerr <<
       "usage: slumber [--threads N] [--engine coroutine|bulk] "
       "[--gen legacy|sharded] [--crash V@R] [--loss P] "
-      "[--churn P [--churn-batches K]] <command> ...\n"
+      "[--churn P [--churn-batches K]] [--obs-out FILE.jsonl] "
+      "[--obs-trace FILE.json] [--progress] <command> ...\n"
       "  slumber families\n"
       "  slumber engines\n"
       "  slumber run <engine> <family> <n> [seed]\n"
@@ -458,6 +466,24 @@ int main(int argc, char** argv) {
   const int nargs = static_cast<int>(args.size());
   if (nargs < 2) return usage();
   const std::string command = args[1];
+  // The telemetry session outlives every per-command pool (they are
+  // all locals of the cmd_* functions), so finalize() runs with no
+  // instrumented thread still live — the obs/obs.h contract.
+  obs::Session obs_session(g_spec.obs);
+  if (obs_session.active()) {
+    std::string cmdline = "slumber";
+    for (int i = 1; i < argc; ++i) {
+      cmdline += ' ';
+      cmdline += argv[i];
+    }
+    obs_session.set_info("tool", "slumber");
+    obs_session.set_info("command", command);
+    obs_session.set_info("cmdline", cmdline);
+    obs_session.set_info("engine", analysis::exec_engine_name(g_spec.exec));
+    obs_session.set_info("gen", gen::schedule_name(g_spec.schedule));
+    obs_session.set_info("threads",
+                         std::to_string(analysis::default_trial_threads()));
+  }
   if (command == "families") return cmd_families();
   if (command == "engines") return cmd_engines();
   if (command == "tree") {
