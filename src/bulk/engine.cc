@@ -191,8 +191,9 @@ void BulkEngine::finish(VertexId v, VirtualRound round) {
 std::vector<VertexId> BulkEngine::apply_crashes(std::vector<VertexId> awake,
                                                 VirtualRound round) {
   if (!fault_.has_crashes() || awake.empty()) return awake;
-  const auto lo = static_cast<std::uint64_t>(round);
-  const auto hi = static_cast<std::uint64_t>(round >> 64);
+  const RoundHalves halves = round_halves(round);
+  const std::uint64_t lo = halves.lo;
+  const std::uint64_t hi = halves.hi;
   ScanResult scan = scan_awake(
       awake, [&](BulkChunk& chunk, std::span<const VertexId> part) {
         for (const VertexId v : part) {

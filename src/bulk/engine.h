@@ -53,10 +53,30 @@ namespace slumber::bulk {
 /// 128-bit virtual round clock (see the header comment).
 using VirtualRound = unsigned __int128;
 
+/// The two blessed exits from the 128-bit clock domain (slumber-d7
+/// flags any other narrowing of a VirtualRound to 64 bits): saturate
+/// into a 64-bit metrics field, or split losslessly into (lo, hi)
+/// halves for keyed fault draws. A bare static_cast elsewhere would
+/// silently truncate rounds past ~1.8e19 — exactly the regime the
+/// 128-bit clock exists for.
+
 /// Saturating narrow to the 64-bit sim::Metrics round fields.
 inline std::uint64_t saturate_round(VirtualRound round) {
   constexpr VirtualRound kMax = ~std::uint64_t{0};
   return round > kMax ? ~std::uint64_t{0} : static_cast<std::uint64_t>(round);
+}
+
+/// Lossless (lo, hi) decomposition of a virtual round, for call sites
+/// that key 64-bit stream draws on the full 128-bit clock value
+/// (fault/fault.h takes the two halves separately).
+struct RoundHalves {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+inline RoundHalves round_halves(VirtualRound round) {
+  return {static_cast<std::uint64_t>(round),
+          static_cast<std::uint64_t>(round >> 64)};
 }
 
 struct BulkOptions {
@@ -249,8 +269,8 @@ class BulkEngine {
   /// both directions, every lane, and the coroutine scheduler compute
   /// the identical bit. Always true without a loss plan.
   bool link_up(VertexId a, VertexId b, VirtualRound round) const {
-    return !fault_.link_down(a, b, static_cast<std::uint64_t>(round),
-                             static_cast<std::uint64_t>(round >> 64));
+    const RoundHalves halves = round_halves(round);
+    return !fault_.link_down(a, b, halves.lo, halves.hi);
   }
 
   /// True iff v fail-stopped earlier in the run.

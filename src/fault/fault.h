@@ -27,6 +27,7 @@
 
 #include "graph/graph.h"
 #include "util/stream_rng.h"
+#include "util/stream_tags.h"
 
 namespace slumber::fault {
 
@@ -88,12 +89,12 @@ inline std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
   return splitmix64(sm);
 }
 
-// Domain-separation tags so the loss, crash, churn, and repair streams
-// of one run never collide.
-inline constexpr std::uint64_t kLossTag = 0x10557AD0'5EED'0001ULL;
-inline constexpr std::uint64_t kCrashTag = 0xC4A54AD0'5EED'0002ULL;
-inline constexpr std::uint64_t kChurnTag = 0xC4024AD0'5EED'0003ULL;
-inline constexpr std::uint64_t kRepairTag = 0x4EBA14D0'5EED'0004ULL;
+// The domain-separation tags that keep the loss, crash, churn, and
+// repair streams of one run from colliding moved to the central
+// stream-tag registry (util/stream_tags.h), which proves all
+// registered tags pairwise distinct in their high 32 bits at compile
+// time; slumber-d6 additionally checks every stream_rng call site
+// keys through a registered tag.
 
 }  // namespace detail
 
@@ -146,8 +147,8 @@ class FaultState {
       return true;
     }
     if (plan_->crash_prob <= 0.0) return false;
-    const std::uint64_t stream =
-        detail::mix(detail::mix(detail::kCrashTag ^ v, round_lo), round_hi);
+    const std::uint64_t stream = detail::mix(
+        detail::mix(util::stream_tags::kCrashTag ^ v, round_lo), round_hi);
     return util::stream_rng(seed_, stream).bernoulli(plan_->crash_prob);
   }
 
@@ -159,8 +160,8 @@ class FaultState {
     if (!has_loss()) return false;
     if (a > b) std::swap(a, b);
     const std::uint64_t edge = detail::mix(a, b);
-    const std::uint64_t stream =
-        detail::mix(detail::mix(detail::kLossTag ^ edge, round_lo), round_hi);
+    const std::uint64_t stream = detail::mix(
+        detail::mix(util::stream_tags::kLossTag ^ edge, round_lo), round_hi);
     return util::stream_rng(seed_, stream).bernoulli(plan_->loss_prob);
   }
 

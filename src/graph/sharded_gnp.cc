@@ -122,6 +122,9 @@ Graph gnp_sharded_csr(VertexId n, double p, std::uint64_t seed,
   {
     obs::Span span("gen", "degree_pass", blocks);
     for_each_block(blocks, pool, [&](std::uint64_t b) {
+      // SLUMBER-STREAM-DISCIPLINE(block-counter): one stream per vertex
+      // block; the dense block id b is the stream key and blocks never
+      // share a row, so no tag mixing is needed (see README).
       Rng rng = util::stream_rng(seed, b);
       const VertexId lo = static_cast<VertexId>(b * kBlockVertices);
       const VertexId hi = static_cast<VertexId>(
@@ -129,6 +132,7 @@ Graph gnp_sharded_csr(VertexId n, double p, std::uint64_t seed,
       std::uint64_t count = 0;
       detail::for_each_gnp_edge_rows(lo, hi, p, rng,
                                      [&](VertexId u, VertexId v) {
+                                       // NOLINTNEXTLINE(slumber-d5): v is a row of this block, so block(v)==b is the single writer
                                        ++down[v];
                                        std::atomic_ref<std::uint32_t>(up[u])
                                            .fetch_add(
@@ -184,6 +188,8 @@ Graph gnp_sharded_csr(VertexId n, double p, std::uint64_t seed,
   {
     obs::Span span("gen", "fill_pass", blocks);
     for_each_block(blocks, pool, [&](std::uint64_t b) {
+      // SLUMBER-STREAM-DISCIPLINE(block-counter): same per-block stream
+      // as the degree pass, replayed so pass 2 sees pass 1's edges.
       Rng rng = util::stream_rng(seed, b);
       const VertexId lo = static_cast<VertexId>(b * kBlockVertices);
       const VertexId hi = static_cast<VertexId>(
@@ -196,10 +202,12 @@ Graph gnp_sharded_csr(VertexId n, double p, std::uint64_t seed,
               row = v;
               row_cursor = offsets[v];
             }
+            // NOLINTNEXTLINE(slumber-d5): row_cursor walks offsets[v]..offsets[v]+down[v], a range owned by this block since block(v)==b
             adjacency[row_cursor++] = u;  // down half, ascending in row
             const CsrOffset slot =
                 std::atomic_ref<CsrOffset>(cursor[u]).fetch_add(
                     1, std::memory_order_relaxed);
+            // NOLINTNEXTLINE(slumber-d5): slot was uniquely claimed by the fetch_add above; the sort pass canonicalizes order
             adjacency[slot] = v;  // up half, position fixed by the sort
           });
       // The stream's next draw after generation is a pure function of

@@ -37,39 +37,51 @@ BENCH_baseline.json` on a quiet machine and commit the new file with a
 one-line justification in the commit message.
 """
 
+from __future__ import annotations
+
 import argparse
 import json
 import sys
+from typing import Any, NoReturn
 
+Bench = dict[str, Any]
 
 # Schemas this gate knows how to diff. None covers v1 files, which
 # predate the "schema" field.
 KNOWN_SCHEMAS = (None, "slumber-bench-v2", "slumber-bench-v3")
 
 
-def load(path):
+def die(message: str) -> NoReturn:
+    # sys.exit(str) would exit 1; the documented contract is 2 for
+    # malformed input so the CI job can tell "regression" from "broken
+    # bench artifact".
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path: str) -> tuple[dict[str, Bench], str | None]:
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
-        sys.exit(f"error: cannot read {path}: {err}")
+        die(f"cannot read {path}: {err}")
     schema = doc.get("schema")
     if schema not in KNOWN_SCHEMAS:
-        sys.exit(f"error: {path}: unknown schema {schema!r} "
-                 f"(this gate understands slumber-bench-v2 and -v3)")
+        die(f"{path}: unknown schema {schema!r} "
+            f"(this gate understands slumber-bench-v2 and -v3)")
     benches = doc.get("benches")
     if not isinstance(benches, list):
-        sys.exit(f"error: {path}: missing 'benches' list")
-    by_name = {}
+        die(f"{path}: missing 'benches' list")
+    by_name: dict[str, Bench] = {}
     for entry in benches:
         name = entry.get("name")
         if not name or "wall_ms" not in entry:
-            sys.exit(f"error: {path}: malformed bench entry {entry!r}")
+            die(f"{path}: malformed bench entry {entry!r}")
         by_name[name] = entry
     return by_name, schema
 
 
-def fmt_ms(entry):
+def fmt_ms(entry: Bench | None) -> str:
     """Wall time, with the build/run split appended when recorded."""
     if entry is None:
         return "-"
@@ -79,11 +91,11 @@ def fmt_ms(entry):
     return text
 
 
-def phase_detail(base, cur):
+def phase_detail(base: Bench, cur: Bench) -> str:
     """Per-phase ratios for a regressed bench, for both-sided phases."""
     base_phases = base.get("phases") or {}
     cur_phases = cur.get("phases") or {}
-    parts = []
+    parts: list[str] = []
     for phase in sorted(set(base_phases) & set(cur_phases)):
         base_ms, cur_ms = base_phases[phase], cur_phases[phase]
         ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
@@ -91,7 +103,7 @@ def phase_detail(base, cur):
     return "; ".join(parts)
 
 
-def main():
+def main() -> int:
     parser = argparse.ArgumentParser(
         description="Fail on per-bench wall-time regressions.")
     parser.add_argument("baseline", help="committed BENCH_baseline.json")
@@ -114,11 +126,11 @@ def main():
               f"{cur_schema!r} current); comparing shared fields only",
               file=sys.stderr)
 
-    regressions = []
-    failures = []
-    one_sided = []
-    rss_warnings = []
-    rows = []
+    regressions: list[tuple[str, float, float, float, Bench, Bench]] = []
+    failures: list[str] = []
+    one_sided: list[tuple[str, str]] = []
+    rss_warnings: list[tuple[str, float, float, float]] = []
+    rows: list[tuple[str, Bench | None, Bench | None, str]] = []
     for name in sorted(set(baseline) | set(current)):
         base = baseline.get(name)
         cur = current.get(name)

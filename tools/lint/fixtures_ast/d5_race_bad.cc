@@ -1,0 +1,32 @@
+// slumber-d5 must-flag fixture: stores through captured references
+// that are not indexed by the lane's chunk/index parameters. Analyzed
+// as if under src/bulk/; never compiled.
+
+void fx_bad_scan(Pool* pool, std::vector<std::uint64_t>& fx_totals,
+                 std::vector<std::uint64_t>& fx_slots) {
+  std::uint64_t fx_sum = 0;
+  std::size_t fx_cursor = 0;
+  pool->parallel_for_range(
+      fx_slots.size(),
+      [&](std::size_t c, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          fx_sum += fx_slots[i];        // MUST-FLAG(slumber-d5)
+          fx_totals[0] += fx_slots[i];  // MUST-FLAG(slumber-d5)
+          fx_slots[fx_cursor++] = i;    // MUST-FLAG(slumber-d5)
+        }
+        fx_totals[c] += 1;
+      });
+}
+
+void fx_bad_span(Engine& eng, const std::vector<Vertex>& fx_members,
+                 std::vector<std::uint32_t>& fx_stamp) {
+  std::uint64_t fx_seen = 0;
+  eng.scan_awake(fx_members,
+                 [&](Chunk& chunk, std::span<const Vertex> part) {
+                   for (const Vertex v : part) {
+                     fx_stamp[v] = 1;
+                     ++fx_seen;  // MUST-FLAG(slumber-d5)
+                     chunk.keep(v);
+                   }
+                 });
+}

@@ -1,0 +1,48 @@
+// slumber-d5 must-pass fixture: the repo's sanctioned patterns --
+// chunk-indexed partials, indices derived from the lane's parameters
+// (transitively), range-fors over the handed span, atomics, and a
+// nested dispatcher whose own index parameters stay its own.
+
+void fx_ok_scan(Engine& eng, Pool* pool,
+                const std::vector<Vertex>& fx_members,
+                std::vector<std::uint64_t>& fx_parts,
+                std::vector<std::uint32_t>& fx_stamp,
+                std::atomic<std::uint64_t>& fx_atomic_total) {
+  pool->parallel_for_range(
+      fx_stamp.size(),
+      [&](std::size_t c, std::size_t begin, std::size_t end) {
+        std::uint64_t fx_local = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          fx_local += i;
+          const std::size_t fx_slot = i * 2;
+          fx_stamp[fx_slot] = 1;
+        }
+        fx_parts[c] += fx_local;
+        fx_atomic_total += fx_local;
+      });
+  eng.scan_awake(fx_members,
+                 [&](Chunk& chunk, std::span<const Vertex> part) {
+                   for (const Vertex v : part) {
+                     fx_stamp[v] = 2;
+                     chunk.keep(v);
+                   }
+                 });
+}
+
+void fx_ok_nested(Pool* pool, std::vector<std::uint64_t>& fx_outer_parts) {
+  pool->parallel_for_index(4, [&](std::size_t b) {
+    fx_outer_parts[b] += 1;
+    pool->parallel_for_range(
+        8, [&](std::size_t c2, std::size_t b2, std::size_t e2) {
+          fx_outer_parts[c2] += b2 + e2;
+        });
+  });
+}
+
+void fx_ok_justified(Pool* pool, std::vector<std::uint64_t>& fx_cells) {
+  pool->parallel_for_index(4, [&](std::size_t b) {
+    // Blocks 1+ take the else branch, so cell 0 has a single writer.
+    // NOLINTNEXTLINE(slumber-d5): cell 0 is single-writer by construction
+    if (b == 0) fx_cells[0] = 7;
+  });
+}

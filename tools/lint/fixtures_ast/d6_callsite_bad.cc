@@ -1,0 +1,11 @@
+// slumber-d6 must-flag fixture: stream_rng call sites keyed by ad-hoc
+// constants that appear in no registry, with no declared discipline.
+
+std::uint64_t fx_draw_rogue(std::uint64_t seed, std::uint64_t v) {
+  return util::stream_rng(seed, 0x1234ULL ^ v).next_u64();  // MUST-FLAG(slumber-d6)
+}
+
+std::uint64_t fx_draw_unhinted(std::uint64_t seed, std::uint64_t n) {
+  const std::uint64_t stream = n * 1000003ULL;
+  return util::stream_rng(seed, stream).next_u64();  // MUST-FLAG(slumber-d6)
+}

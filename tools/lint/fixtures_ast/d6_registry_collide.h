@@ -1,0 +1,23 @@
+// slumber-d6 must-flag fixture: a registry whose second tag collides
+// with the first in the high 32 bits, plus a tag that is neither
+// annotated nor listed in kAllStreamTags.
+#pragma once
+
+#include <cstdint>
+
+namespace slumber::util::stream_tags {
+
+// SLUMBER-STREAM-TAG(fx-loss): fixture loss stream.
+inline constexpr std::uint64_t kFxLossTag = 0x11110000'5EED'0001ULL;
+
+// SLUMBER-STREAM-TAG(fx-crash): fixture crash stream.
+inline constexpr std::uint64_t kFxCrashTag = 0x11110000'5EED'0002ULL;  // MUST-FLAG(slumber-d6)
+
+inline constexpr std::uint64_t kFxOrphanTag = 0x22220000'5EED'0003ULL;  // MUST-FLAG(slumber-d6)
+
+inline constexpr std::uint64_t kAllStreamTags[] = {
+    kFxLossTag,
+    kFxCrashTag,
+};
+
+}  // namespace slumber::util::stream_tags

@@ -1,0 +1,21 @@
+// slumber-d6 must-pass fixture: a well-formed stream-tag registry in
+// the src/util/stream_tags.h format. Also serves as the registry the
+// self-test resolves d6_callsite_*.cc call sites against.
+#pragma once
+
+#include <cstdint>
+
+namespace slumber::util::stream_tags {
+
+// SLUMBER-STREAM-TAG(fx-alpha): fixture stream A (per-vertex draws).
+inline constexpr std::uint64_t kFxAlphaTag = 0xA1FA0000'5EED'0001ULL;
+
+// SLUMBER-STREAM-TAG(fx-beta): fixture stream B (per-batch draws).
+inline constexpr std::uint64_t kFxBetaTag = 0xBE7A0000'5EED'0002ULL;
+
+inline constexpr std::uint64_t kAllStreamTags[] = {
+    kFxAlphaTag,
+    kFxBetaTag,
+};
+
+}  // namespace slumber::util::stream_tags

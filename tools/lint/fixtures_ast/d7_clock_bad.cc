@@ -1,0 +1,13 @@
+// slumber-d7 must-flag fixture: the 128-bit virtual clock narrowed to
+// 64 bits outside the blessed helpers. Analyzed as if under src/bulk/.
+
+using VirtualRound = unsigned __int128;
+
+std::uint64_t fx_truncate(VirtualRound fx_round) {
+  return static_cast<std::uint64_t>(fx_round);  // MUST-FLAG(slumber-d7)
+}
+
+std::uint64_t fx_implicit(VirtualRound fx_round) {
+  const std::uint64_t fx_clipped = fx_round + 3;  // MUST-FLAG(slumber-d7)
+  return fx_clipped;
+}

@@ -1,0 +1,31 @@
+// slumber-d7 must-pass fixture: clock narrowing is fine inside this
+// file's own blessed helper definitions, casts to double are always
+// fine, and consuming the clock through saturate_round is the
+// sanctioned pattern.
+
+using VirtualRound = unsigned __int128;
+
+struct FxHalves {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+inline std::uint64_t saturate_round(VirtualRound fx_clock) {
+  constexpr VirtualRound kFxMax = ~std::uint64_t{0};
+  return fx_clock > kFxMax ? ~std::uint64_t{0}
+                           : static_cast<std::uint64_t>(fx_clock);
+}
+
+inline FxHalves round_halves(VirtualRound fx_clock) {
+  return {static_cast<std::uint64_t>(fx_clock),
+          static_cast<std::uint64_t>(fx_clock >> 64)};
+}
+
+double fx_progress(VirtualRound fx_clock) {
+  return static_cast<double>(fx_clock);
+}
+
+std::uint64_t fx_report(VirtualRound fx_clock) {
+  const std::uint64_t fx_safe = saturate_round(fx_clock);
+  return fx_safe;
+}

@@ -1,0 +1,7 @@
+// slumber-d8 must-flag fixture: taint crosses translation units --
+// this caller never names obs:: but calls a tainted helper defined in
+// d8_readback_chain.cc.
+
+std::uint64_t fx_remote_gate() {  // MUST-FLAG(slumber-d8)
+  return fx_budget_gate(512) + 1;
+}

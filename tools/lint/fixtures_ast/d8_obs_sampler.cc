@@ -1,0 +1,7 @@
+// slumber-d8 must-pass fixture: code under src/obs/ may read its own
+// telemetry state; the rule only polices reads from outside the
+// telemetry subsystem. (The self-test maps d8_obs_* into src/obs/.)
+
+std::uint64_t fx_obs_sample() {
+  return obs::peak_rss_kb();
+}

@@ -1,0 +1,7 @@
+// slumber-d8 must-pass fixture: write-only telemetry use (counters,
+// progress) never taints; only reads of telemetry state do.
+
+void fx_telemetry_writer(std::uint64_t n) {
+  obs::counter("fx_items", static_cast<double>(n));
+  obs::progress_round(static_cast<double>(n) * 0.5);
+}

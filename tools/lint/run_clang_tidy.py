@@ -40,6 +40,7 @@ import re
 import shutil
 import subprocess
 import sys
+from typing import Any
 
 TU_DIRS = ("src", "bench", "examples", "tools", "tests")
 FINDING_RE = re.compile(
@@ -89,7 +90,7 @@ def headers_digest(root: str) -> str:
 
 
 def load_compile_commands(build_dir: str, root: str,
-                          only: list[str]) -> list[dict]:
+                          only: list[str]) -> list[dict[str, Any]]:
     ccpath = os.path.join(build_dir, "compile_commands.json")
     if not os.path.isfile(ccpath):
         sys.exit(f"error: {ccpath} not found -- configure first "
@@ -120,7 +121,7 @@ def load_compile_commands(build_dir: str, root: str,
     return selected
 
 
-def tu_fingerprint(entry: dict, tool_version: str, config_hash: str,
+def tu_fingerprint(entry: dict[str, Any], tool_version: str, config_hash: str,
                    headers_hash: str) -> str:
     h = hashlib.sha256()
     for part in (tool_version, config_hash, headers_hash,
@@ -132,7 +133,7 @@ def tu_fingerprint(entry: dict, tool_version: str, config_hash: str,
     return h.hexdigest()
 
 
-def run_tu(tidy: str, build_dir: str, entry: dict,
+def run_tu(tidy: str, build_dir: str, entry: dict[str, Any],
            root: str) -> tuple[str, list[str], str]:
     """Returns (rel path, findings, raw stderr-on-crash)."""
     proc = subprocess.run(
@@ -158,6 +159,23 @@ def run_tu(tidy: str, build_dir: str, entry: dict,
     return entry["rel"], findings, crash
 
 
+REPORT_LINE_RE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<message>.*?) \[(?P<check>[\w.,-]+)\]$")
+
+
+def emit_gha(report_lines: list[str]) -> None:
+    """GitHub Actions problem-matcher annotations, one per finding."""
+    for line in report_lines:
+        m = REPORT_LINE_RE.match(line)
+        if not m:
+            continue
+        message = m.group("message").replace("%", "%25").replace(
+            "\n", "%0A")
+        print(f"::error file={m.group('path')},line={m.group('line')},"
+              f"col={m.group('col')},title={m.group('check')}::{message}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="sharded + cached clang-tidy over the project TUs")
@@ -174,6 +192,9 @@ def main() -> int:
                         help="fail (exit 2) when clang-tidy is missing "
                              "instead of skipping")
     parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--gha", action="store_true",
+                        help="also emit GitHub Actions ::error "
+                             "annotations (auto under GITHUB_ACTIONS)")
     args = parser.parse_args()
 
     here = os.path.dirname(os.path.abspath(__file__))
@@ -241,7 +262,7 @@ def main() -> int:
                     json.dump({"tu": rel, "findings": findings}, fh)
                 os.replace(tmp, cache_path)
 
-    def sort_key(line: str):
+    def sort_key(line: str) -> tuple[str, int, int, str]:
         m = re.match(r"([^:]+):(\d+):(\d+):", line)
         if m:
             return (m.group(1), int(m.group(2)), int(m.group(3)), line)
@@ -257,6 +278,8 @@ def main() -> int:
             fh.write(body + ("\n" if body else ""))
     if body:
         print(body)
+    if args.gha or os.environ.get("GITHUB_ACTIONS"):
+        emit_gha(report_lines)
     print(summary)
     if crashes:
         print("\n".join(crashes), file=sys.stderr)

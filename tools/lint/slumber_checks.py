@@ -71,6 +71,7 @@ import argparse
 import os
 import re
 import sys
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 try:  # optional refinement only; the lexical engine is the contract
@@ -510,7 +511,8 @@ WRITE_RE = re.compile(
     r"|\b(?P<assign>\w+)\s*(?:[-+*/%|&^]|<<|>>)?=(?!=)")
 
 
-def lambda_bodies_after_pool_calls(src: SourceFile):
+def lambda_bodies_after_pool_calls(
+        src: SourceFile) -> list[tuple[int, str, int]]:
     """Yields (capture, params, body_text, body_start_line) for lambdas
     passed to parallel_for_range / parallel_for_index."""
     text = "\n".join(src.code)
@@ -677,7 +679,7 @@ def analyze_file(abspath: str, relpath: str) -> list[Finding]:
     return findings
 
 
-def iter_tree_files(root: str):
+def iter_tree_files(root: str) -> Iterator[tuple[str, str]]:
     for scan_dir in TREE_SCAN_DIRS:
         base = os.path.join(root, scan_dir)
         if not os.path.isdir(base):
@@ -685,7 +687,8 @@ def iter_tree_files(root: str):
         for dirpath, dirnames, filenames in os.walk(base):
             dirnames[:] = sorted(
                 d for d in dirnames
-                if d not in ("fixtures", "__pycache__", ".cache"))
+                if not d.startswith("fixtures")
+                and d not in ("__pycache__", ".cache"))
             for name in sorted(filenames):
                 if name.endswith(CXX_EXTENSIONS):
                     abspath = os.path.join(dirpath, name)
@@ -753,6 +756,14 @@ def run_self_test(fixtures_dir: str) -> int:
     return 0
 
 
+def emit_gha(findings: list[Finding]) -> None:
+    """GitHub Actions problem-matcher annotations, one per finding."""
+    for f in findings:
+        message = f.message.replace("%", "%25").replace("\n", "%0A")
+        print(f"::error file={f.path},line={f.line},"
+              f"title={f.rule}::{message}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="slumber-lint determinism & concurrency checks")
@@ -762,6 +773,9 @@ def main() -> int:
                         help="repo root (default: two levels up from here)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the fixture suite instead of a scan")
+    parser.add_argument("--gha", action="store_true",
+                        help="also emit GitHub Actions ::error "
+                             "annotations (auto under GITHUB_ACTIONS)")
     parser.add_argument("--list-rules", action="store_true")
     args = parser.parse_args()
 
@@ -787,6 +801,8 @@ def main() -> int:
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
     for f in findings:
         print(f.render())
+    if args.gha or os.environ.get("GITHUB_ACTIONS"):
+        emit_gha(findings)
     if findings:
         print(f"\nslumber_checks: {len(findings)} finding(s) over "
               f"{len(files)} files", file=sys.stderr)

@@ -29,9 +29,14 @@ Exit status: 0 when valid, 1 on any schema violation, 2 on unreadable
 input. Dependency-free by design (stdlib json only).
 """
 
+from __future__ import annotations
+
 import argparse
 import json
 import sys
+from typing import Any, NoReturn
+
+Event = dict[str, Any]
 
 SCHEMA = "slumber-obs-v1"
 MANIFEST_FIELDS = ("schema", "git_sha", "build", "host", "pid",
@@ -45,11 +50,11 @@ class Violation(Exception):
     pass
 
 
-def fail(line_no, why):
+def fail(line_no: int, why: str) -> NoReturn:
     raise Violation(f"line {line_no}: {why}")
 
 
-def check_event(line_no, event):
+def check_event(line_no: int, event: Event) -> None:
     kind = event.get("type")
     if kind not in EVENT_TYPES:
         fail(line_no, f"unknown event type {kind!r}")
@@ -62,13 +67,15 @@ def check_event(line_no, event):
         fail(line_no, "counter event missing 'value'")
 
 
-def check_nesting(spans):
+def check_nesting(
+        spans: dict[Any, list[tuple[float, float, str, int]]],
+) -> list[str]:
     """Spans of one tid, sorted by (start, -end), must form a stack:
     each span either nests inside the enclosing one or starts after it
     ends. Overlap without containment means broken bracketing."""
-    violations = []
+    violations: list[str] = []
     for tid in sorted(spans):
-        stack = []
+        stack: list[tuple[float, float, str, int]] = []
         for start, end, name, line_no in sorted(
                 spans[tid], key=lambda s: (s[0], -s[1])):
             while stack and start >= stack[-1][1]:
@@ -85,7 +92,7 @@ def check_nesting(spans):
     return violations
 
 
-def check_jsonl(path):
+def check_jsonl(path: str) -> tuple[dict[str, int], Event]:
     try:
         with open(path, "r", encoding="utf-8") as fh:
             lines = fh.read().splitlines()
@@ -94,7 +101,7 @@ def check_jsonl(path):
     if not lines:
         raise Violation("empty file: expected at least manifest + footer")
 
-    docs = []
+    docs: list[Event] = []
     for idx, line in enumerate(lines, start=1):
         try:
             doc = json.loads(line)
@@ -130,7 +137,7 @@ def check_jsonl(path):
                             f"'lane'/'busy_ms'")
 
     counts = dict.fromkeys(EVENT_TYPES, 0)
-    spans_by_tid = {}
+    spans_by_tid: dict[Any, list[tuple[float, float, str, int]]] = {}
     for idx, event in enumerate(docs[1:-1], start=2):
         check_event(idx, event)
         counts[event["type"]] += 1
@@ -152,7 +159,7 @@ def check_jsonl(path):
     return counts, manifest
 
 
-def check_trace(path):
+def check_trace(path: str) -> dict[Any, int]:
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -163,7 +170,7 @@ def check_trace(path):
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         raise Violation("trace missing 'traceEvents' list")
-    phases = {}
+    phases: dict[Any, int] = {}
     saw_process_name = False
     for idx, event in enumerate(events):
         ph = event.get("ph")
@@ -184,7 +191,7 @@ def check_trace(path):
     return phases
 
 
-def main():
+def main() -> int:
     parser = argparse.ArgumentParser(
         description="Validate slumber-obs-v1 telemetry exports.")
     parser.add_argument("jsonl", help="JSONL stream from --obs-out")

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/compare_bench.py (stdlib unittest only).
+
+Runs the gate as a subprocess -- the exit code and the stderr text ARE
+its interface to CI, so that is what the tests pin: the v2/v3 schema
+mixing warning, the advisory-only peak-RSS path, the floor-ms noise
+gate, and the exit-status contract (0 clean / 1 regression / 2
+malformed input).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+from typing import Any
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SCRIPT = os.path.join(HERE, "..", "compare_bench.py")
+
+
+def bench(name: str, wall_ms: int, **extra: Any) -> dict[str, Any]:
+    entry: dict[str, Any] = {"name": name, "wall_ms": wall_ms,
+                             "status": "ok"}
+    entry.update(extra)
+    return entry
+
+
+def run_gate(baseline_doc: dict[str, Any], current_doc: dict[str, Any],
+             *extra_args: str) -> "subprocess.CompletedProcess[str]":
+    with tempfile.TemporaryDirectory(prefix="compare-bench-test-") as tmp:
+        base_path = os.path.join(tmp, "baseline.json")
+        cur_path = os.path.join(tmp, "current.json")
+        with open(base_path, "w", encoding="utf-8") as fh:
+            json.dump(baseline_doc, fh)
+        with open(cur_path, "w", encoding="utf-8") as fh:
+            json.dump(current_doc, fh)
+        return subprocess.run(
+            [sys.executable, SCRIPT, base_path, cur_path, *extra_args],
+            capture_output=True, text=True, check=False)
+
+
+class CompareBenchTest(unittest.TestCase):
+    def test_clean_pair_passes(self) -> None:
+        doc = {"schema": "slumber-bench-v3",
+               "benches": [bench("mis_small", 1000)]}
+        proc = run_gate(doc, doc)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("bench gate: OK", proc.stdout)
+
+    def test_regression_fails(self) -> None:
+        base = {"schema": "slumber-bench-v3",
+                "benches": [bench("mis_small", 1000)]}
+        cur = {"schema": "slumber-bench-v3",
+               "benches": [bench("mis_small", 2000)]}
+        proc = run_gate(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertIn("wall-time regression", proc.stderr)
+
+    def test_floor_ms_ignores_tiny_absolute_deltas(self) -> None:
+        # 3x over ratio, but only +20 ms: timer noise, never a failure.
+        base = {"schema": "slumber-bench-v3",
+                "benches": [bench("tiny", 10)]}
+        cur = {"schema": "slumber-bench-v3",
+               "benches": [bench("tiny", 30)]}
+        proc = run_gate(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("under floor; ignored", proc.stdout)
+
+    def test_mixed_v2_v3_schemas_warn_but_compare(self) -> None:
+        base = {"schema": "slumber-bench-v2",
+                "benches": [bench("mis_small", 1000,
+                                  build_ms=400, run_ms=600)]}
+        cur = {"schema": "slumber-bench-v3",
+               "benches": [bench("mis_small", 1050, build_ms=420,
+                                 run_ms=630, peak_rss_kb=200000,
+                                 phases={"generate": 400, "run": 650})]}
+        proc = run_gate(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("mixed schemas", proc.stderr)
+        self.assertIn("'slumber-bench-v2' baseline", proc.stderr)
+        # The split is still rendered from the shared v2 fields.
+        self.assertIn("(420b/630r)", proc.stdout)
+
+    def test_rss_growth_warns_but_never_gates(self) -> None:
+        base = {"schema": "slumber-bench-v3",
+                "benches": [bench("mis_big", 1000, peak_rss_kb=100000)]}
+        cur = {"schema": "slumber-bench-v3",
+               "benches": [bench("mis_big", 1010, peak_rss_kb=200000)]}
+        proc = run_gate(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("peak RSS", proc.stderr)
+        self.assertIn("advisory only, not gated", proc.stderr)
+
+    def test_rss_under_ratio_stays_silent(self) -> None:
+        base = {"schema": "slumber-bench-v3",
+                "benches": [bench("mis_big", 1000, peak_rss_kb=100000)]}
+        cur = {"schema": "slumber-bench-v3",
+               "benches": [bench("mis_big", 1010, peak_rss_kb=110000)]}
+        proc = run_gate(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("peak RSS", proc.stderr)
+
+    def test_failed_bench_is_fatal_on_its_own(self) -> None:
+        base = {"schema": "slumber-bench-v3",
+                "benches": [bench("mis_small", 1000)]}
+        cur = {"schema": "slumber-bench-v3",
+               "benches": [{"name": "mis_small", "wall_ms": 0,
+                            "status": "error"}]}
+        proc = run_gate(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("failed to run", proc.stderr)
+
+    def test_one_sided_benches_warn_but_pass(self) -> None:
+        base = {"schema": "slumber-bench-v3",
+                "benches": [bench("removed_bench", 500)]}
+        cur = {"schema": "slumber-bench-v3",
+               "benches": [bench("new_bench", 500)]}
+        proc = run_gate(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("baseline only", proc.stderr)
+        self.assertIn("current only", proc.stderr)
+
+    def test_unknown_schema_is_malformed_input(self) -> None:
+        base = {"schema": "slumber-bench-v3",
+                "benches": [bench("mis_small", 1000)]}
+        cur = {"schema": "slumber-bench-v9", "benches": []}
+        proc = run_gate(base, cur)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("unknown schema", proc.stderr)
+
+    def test_missing_benches_list_is_malformed_input(self) -> None:
+        base = {"schema": "slumber-bench-v3",
+                "benches": [bench("mis_small", 1000)]}
+        proc = run_gate(base, {"schema": "slumber-bench-v3"})
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("missing 'benches' list", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/obs_check.py (stdlib unittest only).
+
+Exercises the slumber-obs-v1 validator the way CI uses it -- as a
+subprocess over JSONL/trace files on disk -- pinning the manifest and
+footer contracts, the per-tid span-nesting check, and the exit-status
+interface (0 valid / 1 violation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+from typing import Any, Optional
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SCRIPT = os.path.join(HERE, "..", "obs_check.py")
+
+
+def manifest() -> dict[str, Any]:
+    return {"type": "manifest", "schema": "slumber-obs-v1",
+            "git_sha": "abc1234", "build": "Release", "host": "ci",
+            "pid": 42, "start_unix_ms": 1700000000000, "info": {}}
+
+
+def span(name: str, ts_us: int, dur_us: int, tid: int = 1,
+         lane: int = 0) -> dict[str, Any]:
+    return {"type": "span", "name": name, "ts_us": ts_us,
+            "dur_us": dur_us, "lane": lane, "tid": tid}
+
+
+def counter(name: str, ts_us: int, value: int, tid: int = 1,
+            lane: int = 0) -> dict[str, Any]:
+    return {"type": "counter", "name": name, "ts_us": ts_us,
+            "value": value, "lane": lane, "tid": tid}
+
+
+def footer(events: int) -> dict[str, Any]:
+    return {"type": "footer", "events": events, "dropped": 0,
+            "wall_ms": 12, "peak_rss_kb": 4096, "frames": 1,
+            "lanes": [{"lane": 0, "busy_ms": 10}]}
+
+
+def run_check(docs: list[dict[str, Any]],
+              trace_doc: Optional[dict[str, Any]] = None
+              ) -> "subprocess.CompletedProcess[str]":
+    with tempfile.TemporaryDirectory(prefix="obs-check-test-") as tmp:
+        jsonl = os.path.join(tmp, "run.jsonl")
+        with open(jsonl, "w", encoding="utf-8") as fh:
+            for doc in docs:
+                fh.write(json.dumps(doc) + "\n")
+        cmd = [sys.executable, SCRIPT, jsonl]
+        if trace_doc is not None:
+            trace = os.path.join(tmp, "trace.json")
+            with open(trace, "w", encoding="utf-8") as fh:
+                json.dump(trace_doc, fh)
+            cmd += ["--trace", trace]
+        return subprocess.run(cmd, capture_output=True, text=True,
+                              check=False)
+
+
+class ObsCheckJsonlTest(unittest.TestCase):
+    def test_valid_stream_passes(self) -> None:
+        docs = [manifest(),
+                span("scan", 0, 100),
+                span("chunk", 10, 50),
+                counter("awake_set", 20, 7),
+                footer(3)]
+        proc = run_check(docs)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("OK (2 spans, 1 counters", proc.stdout)
+
+    def test_missing_manifest_field_fails(self) -> None:
+        bad = manifest()
+        del bad["git_sha"]
+        proc = run_check([bad, footer(0)])
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("manifest missing 'git_sha'", proc.stderr)
+
+    def test_footer_event_count_mismatch_fails(self) -> None:
+        proc = run_check([manifest(), span("scan", 0, 100), footer(5)])
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("footer counts 5 events, stream has 1", proc.stderr)
+
+    def test_counter_without_value_fails(self) -> None:
+        bad = counter("awake_set", 20, 7)
+        del bad["value"]
+        proc = run_check([manifest(), bad, footer(1)])
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("counter event missing 'value'", proc.stderr)
+
+    def test_overlapping_spans_same_tid_fail(self) -> None:
+        # [0, 100) and [50, 150) on one tid overlap without nesting:
+        # scope-exit emission can never produce that bracketing.
+        docs = [manifest(),
+                span("a", 0, 100, tid=7),
+                span("b", 50, 100, tid=7),
+                footer(2)]
+        proc = run_check(docs)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("overlaps", proc.stderr)
+
+    def test_overlapping_spans_on_different_tids_pass(self) -> None:
+        docs = [manifest(),
+                span("a", 0, 100, tid=1),
+                span("b", 50, 100, tid=2),
+                footer(2)]
+        proc = run_check(docs)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_non_json_line_fails(self) -> None:
+        with tempfile.TemporaryDirectory(prefix="obs-check-test-") as tmp:
+            jsonl = os.path.join(tmp, "run.jsonl")
+            with open(jsonl, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(manifest()) + "\n")
+                fh.write("not json\n")
+                fh.write(json.dumps(footer(0)) + "\n")
+            proc = subprocess.run([sys.executable, SCRIPT, jsonl],
+                                  capture_output=True, text=True,
+                                  check=False)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("not valid JSON", proc.stderr)
+
+
+class ObsCheckTraceTest(unittest.TestCase):
+    def valid_trace(self) -> dict[str, Any]:
+        return {"traceEvents": [
+                    {"ph": "M", "name": "process_name", "pid": 42,
+                     "args": {"name": "slumber"}},
+                    {"ph": "X", "name": "scan", "ts": 0, "dur": 100,
+                     "pid": 42, "tid": 1}],
+                "otherData": {"schema": "slumber-obs-v1"}}
+
+    def test_valid_trace_passes(self) -> None:
+        docs = [manifest(), footer(0)]
+        proc = run_check(docs, trace_doc=self.valid_trace())
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("trace.json: OK", proc.stdout)
+
+    def test_trace_without_process_name_fails(self) -> None:
+        trace = self.valid_trace()
+        trace["traceEvents"] = [e for e in trace["traceEvents"]
+                                if e.get("ph") != "M"]
+        proc = run_check([manifest(), footer(0)], trace_doc=trace)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no process_name metadata", proc.stderr)
+
+    def test_x_event_missing_dur_fails(self) -> None:
+        trace = self.valid_trace()
+        del trace["traceEvents"][1]["dur"]
+        proc = run_check([manifest(), footer(0)], trace_doc=trace)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("X event missing 'dur'", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
