@@ -1,15 +1,17 @@
 // Fault-injection degradation across the bulk MIS protocols.
 //
 // For one G(n, 8/n) instance the bench runs every bulk MIS engine
-// (Sleeping, Luby-A, Luby-B, CRT-greedy) under four fault scenarios —
-// fault-free, 1% symmetric message loss, probabilistic fail-stop
-// crashes, and loss combined with post-run membership churn plus
-// incremental repair — and reports what each scenario costs: crashed
-// nodes, injected losses, the surviving MIS's size, and the damage to
-// the MIS invariant on the alive-induced subgraph (independence
-// violations and uncovered nodes), plus the repair effort for the
-// churn scenario. Fault evaluation is pure keyed draws, so every cell
-// is reproducible bit for bit at any lane count.
+// (Sleeping, Luby-A, Luby-B, CRT-greedy) under seven fault scenarios —
+// fault-free, 1% symmetric message loss, Gilbert–Elliott burst loss,
+// probabilistic fail-stop crashes, crashes with live recovery, mid-run
+// leave/join churn, and loss combined with post-run membership churn
+// plus incremental repair — and reports what each scenario costs:
+// crashed and recovered nodes, live leave/rejoin counts, injected
+// losses, the surviving MIS's size, and the damage to the MIS
+// invariant on the alive-induced subgraph (independence violations and
+// uncovered nodes), plus the repair effort (post-run churn passes or
+// the live-dynamics final repair). Fault evaluation is pure keyed
+// draws, so every cell is reproducible bit for bit at any lane count.
 //
 // The shared flag grammar (analysis/trial_spec.h) applies: --threads
 // sets the intra-trial lane count, --gen picks the G(n, p) schedule
@@ -139,27 +141,41 @@ int main(int argc, char** argv) {
     std::string name;
     fault::FaultPlan plan;
   };
-  std::vector<Scenario> scenarios(4);
+  std::vector<Scenario> scenarios(7);
   scenarios[0].name = "none";
   scenarios[1].name = "loss 1%";
   scenarios[1].plan.loss_prob = 0.01;
-  scenarios[2].name = "crash";
+  scenarios[2].name = "burst loss";
+  // Gilbert–Elliott per-edge channel: ~9% stationary loss arriving in
+  // bursts (a bad epoch persists w.p. 0.8), epochs of 8 rounds.
+  scenarios[2].plan.burst = {.p_on = 0.02, .p_off = 0.2, .epoch_len = 8};
+  scenarios[3].name = "crash";
   // A handful of scheduled crashes plus a per-awake-round rate sized so
   // hundreds of nodes fail over an O(log n) awake lifetime.
-  scenarios[2].plan.crash_schedule = {{0, 1}, {1, 4}, {2, 16}};
-  scenarios[2].plan.crash_prob = 1e-6;
-  scenarios[3].name = "loss+churn";
-  scenarios[3].plan.loss_prob = 0.01;
-  scenarios[3].plan.churn.leave_prob = 0.05;
-  scenarios[3].plan.churn.join_prob = 0.5;
-  scenarios[3].plan.churn.batches = 3;
+  scenarios[3].plan.crash_schedule = {{0, 1}, {1, 4}, {2, 16}};
+  scenarios[3].plan.crash_prob = 1e-6;
+  scenarios[4].name = "crash+recover";
+  scenarios[4].plan.crash_schedule = {{0, 1}, {1, 4}, {2, 16}};
+  scenarios[4].plan.crash_prob = 1e-6;
+  scenarios[4].plan.recover.mean_down = 16;
+  scenarios[5].name = "live churn";
+  // Mid-run leave/join between bulk frames; leavers return after a
+  // Geometric(0.2) downtime and re-enter in a reset state.
+  scenarios[5].plan.live_churn = {.leave_prob = 1e-5, .join_prob = 0.2};
+  scenarios[6].name = "loss+churn";
+  scenarios[6].plan.loss_prob = 0.01;
+  scenarios[6].plan.churn.leave_prob = 0.05;
+  scenarios[6].plan.churn.join_prob = 0.5;
+  scenarios[6].plan.churn.batches = 3;
 
-  analysis::Table table({"protocol", "scenario", "crashed", "lost msgs",
-                         "alive", "MIS size", "indep viol", "uncovered",
-                         "repair", "valid", "run ms"});
+  analysis::Table table({"protocol", "scenario", "crashed", "recovered",
+                         "live -/+", "lost msgs", "alive", "MIS size",
+                         "indep viol", "uncovered", "repair", "valid",
+                         "run ms"});
   const auto run_start = std::chrono::steady_clock::now();
   bool all_clean_valid = true;
   bool churn_valid = true;
+  bool live_valid = true;
   for (const analysis::MisEngine engine :
        {analysis::MisEngine::kSleeping, analysis::MisEngine::kLubyA,
         analysis::MisEngine::kLubyB, analysis::MisEngine::kGreedy}) {
@@ -176,14 +192,22 @@ int main(int argc, char** argv) {
       for (const std::uint8_t a : run.alive) alive -= a == 0 ? 1 : 0;
       if (plan == nullptr) all_clean_valid &= run.valid;
       if (scenario.plan.churn.enabled()) churn_valid &= run.valid;
+      if (scenario.plan.has_live_dynamics()) live_valid &= run.valid;
+      std::string live_column = "-";
+      live_column += analysis::Table::num(run.metrics.live_leaves);
+      live_column += "/+";
+      live_column += analysis::Table::num(run.metrics.live_rejoins);
       table.add_row({analysis::engine_name(engine), scenario.name,
                      analysis::Table::num(run.metrics.crashed_nodes),
+                     analysis::Table::num(run.metrics.recovered_nodes),
+                     live_column,
                      analysis::Table::num(run.metrics.injected_losses),
                      analysis::Table::num(alive),
                      analysis::Table::num(run.mis_size),
                      analysis::Table::num(damage.independence_violations),
                      analysis::Table::num(damage.uncovered),
-                     analysis::Table::num(run.metrics.churn_repair_rounds),
+                     analysis::Table::num(run.metrics.churn_repair_rounds +
+                                          run.metrics.live_repair_rounds),
                      run.valid ? "yes" : "NO",
                      analysis::Table::num(run_ms, 0)});
     }
@@ -205,6 +229,11 @@ int main(int argc, char** argv) {
   if (!churn_valid) {
     std::cerr << "FAULT-SCALING FAILURE: churn repair left an invalid MIS "
                  "on the alive subgraph\n";
+    return 1;
+  }
+  if (!live_valid) {
+    std::cerr << "FAULT-SCALING FAILURE: a live-dynamics run's final repair "
+                 "left an invalid MIS on the alive subgraph\n";
     return 1;
   }
   return 0;

@@ -136,6 +136,18 @@ MisRun finish_run(MisEngine engine, const Graph& g, std::uint64_t seed,
                  static_cast<double>(run.metrics.injected_losses));
     obs::counter("crashed_nodes",
                  static_cast<double>(run.metrics.crashed_nodes));
+    // Live-dynamics end-of-run gauges (the engine also streams these
+    // cumulatively from apply_dynamics; the final repeat closes the
+    // series at the run's totals).
+    if (run.metrics.live_leaves > 0 || run.metrics.live_rejoins > 0 ||
+        run.metrics.recovered_nodes > 0) {
+      obs::counter("live_leaves",
+                   static_cast<double>(run.metrics.live_leaves));
+      obs::counter("live_rejoins",
+                   static_cast<double>(run.metrics.live_rejoins));
+      obs::counter("recovered_nodes",
+                   static_cast<double>(run.metrics.recovered_nodes));
+    }
   }
   return run;
 }
@@ -146,6 +158,8 @@ MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
                const RunOptions& opts) {
   obs::Span run_span("run", "run_mis", seed);
   const bool churn = opts.fault != nullptr && opts.fault->churn.enabled();
+  const bool live =
+      opts.fault != nullptr && opts.fault->has_live_dynamics();
   if (opts.exec == ExecEngine::kBulk) {
     auto protocol = bulk::bulk_mis_protocol(engine, opts.trace);
     if (protocol == nullptr) {
@@ -159,16 +173,40 @@ MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
     options.node_metrics = opts.node_metrics;
     options.first_touch = opts.first_touch;
     bulk::BulkResult result = bulk::run_bulk(g, seed, *protocol, options);
-    if (!churn && result.crashed.empty()) {
+    if (!churn && result.crashed.empty() && result.departed.empty()) {
       return finish_run(engine, g, seed, std::move(result.metrics),
                         std::move(result.outputs));
     }
+    // The final alive subgraph: everyone not currently crashed (under
+    // recovery crashed_[] only holds nodes still down) and not departed.
     const VertexId n = g.num_vertices();
     std::vector<std::uint8_t> alive(n, 1);
     if (!result.crashed.empty()) {
       for (VertexId v = 0; v < n; ++v) {
         alive[v] = result.crashed[v] != 0 ? 0 : 1;
       }
+    }
+    if (!result.departed.empty()) {
+      for (VertexId v = 0; v < n; ++v) {
+        if (result.departed[v] != 0) alive[v] = 0;
+      }
+    }
+    if (live && !churn) {
+      // Live-dynamics run: the survivors' outputs can carry damage from
+      // mid-run leaves/crashes (a dominator that vanished, a re-entrant
+      // that never re-decided). Repair once on the final alive subgraph
+      // so the reported MIS — and validity — refer to the network that
+      // actually remains.
+      obs::progress_phase("repair");
+      obs::Span repair_span("fault", "live_repair", seed);
+      const fault::FaultState fs(opts.fault, seed, n);
+      std::uint64_t demotions = 0;
+      std::uint64_t promotions = 0;
+      result.metrics.live_repair_rounds = fault::repair_mis(
+          g, alive, result.outputs, fs.seed(), opts.pool, &demotions,
+          &promotions);
+      obs::counter("live_repair_rounds",
+                   static_cast<double>(result.metrics.live_repair_rounds));
     }
     bool churn_valid = false;
     if (churn) {
@@ -203,6 +241,10 @@ MisRun run_mis(MisEngine engine, const Graph& g, std::uint64_t seed,
   }
   if (churn) {
     throw std::invalid_argument("run_mis: churn requires the bulk engine");
+  }
+  if (live) {
+    throw std::invalid_argument(
+        "run_mis: live churn and crash recovery require the bulk engine");
   }
   sim::Protocol protocol;
   switch (engine) {

@@ -17,6 +17,16 @@ bool flag_value(const std::vector<std::string>& args, std::size_t i,
   return false;
 }
 
+/// True iff flag i is followed by `count` value tokens.
+bool flag_values(const std::vector<std::string>& args, std::size_t i,
+                 const char* flag, std::size_t count, const char* shape,
+                 std::ostream& err) {
+  if (i + count < args.size()) return true;
+  err << "error: " << flag << " needs " << count << " values: " << flag << ' '
+      << shape << '\n';
+  return false;
+}
+
 }  // namespace
 
 bool parse_trial_flags(std::vector<std::string>* args, TrialSpec* spec,
@@ -76,6 +86,43 @@ bool parse_trial_flags(std::vector<std::string>* args, TrialSpec* spec,
       if (!util::parse_prob(a[++i], "--loss", &spec->fault.loss_prob, err)) {
         return false;
       }
+    } else if (flag == "--loss-burst") {
+      if (!flag_values(a, i, "--loss-burst", 3, "P_ON P_OFF LEN", err)) {
+        return false;
+      }
+      fault::BurstSpec& burst = spec->fault.burst;
+      if (!util::parse_prob(a[++i], "--loss-burst P_ON", &burst.p_on, err) ||
+          !util::parse_prob(a[++i], "--loss-burst P_OFF", &burst.p_off, err)) {
+        return false;
+      }
+      if (burst.p_on + burst.p_off > 1.0) {
+        err << "error: --loss-burst: P_ON + P_OFF must be <= 1 (the "
+               "channel's epoch-coupling probability is their sum); got "
+            << burst.p_on + burst.p_off << '\n';
+        return false;
+      }
+      if (!util::parse_uint(a[++i], "--loss-burst LEN", &burst.epoch_len, 1,
+                            std::numeric_limits<std::uint64_t>::max(), err)) {
+        return false;
+      }
+    } else if (flag == "--churn-live") {
+      if (!flag_values(a, i, "--churn-live", 2, "LEAVE JOIN", err)) {
+        return false;
+      }
+      fault::LiveChurnSpec& live = spec->fault.live_churn;
+      if (!util::parse_prob(a[++i], "--churn-live LEAVE", &live.leave_prob,
+                            err) ||
+          !util::parse_prob(a[++i], "--churn-live JOIN", &live.join_prob,
+                            err)) {
+        return false;
+      }
+    } else if (flag == "--recover") {
+      if (!flag_value(a, i, "--recover", err)) return false;
+      if (!util::parse_uint(a[++i], "--recover", &spec->fault.recover.mean_down,
+                            1, std::numeric_limits<std::uint64_t>::max(),
+                            err)) {
+        return false;
+      }
     } else if (flag == "--churn") {
       if (!flag_value(a, i, "--churn", err)) return false;
       double rate = 0.0;
@@ -111,6 +158,16 @@ bool parse_trial_flags(std::vector<std::string>* args, TrialSpec* spec,
   }
   if (spec->fault.churn.enabled() && spec->exec != ExecEngine::kBulk) {
     err << "error: --churn needs the bulk back end's alive mask; "
+           "add --engine bulk\n";
+    return false;
+  }
+  if (spec->fault.live_churn.enabled() && spec->exec != ExecEngine::kBulk) {
+    err << "error: --churn-live applies mid-run dynamics between bulk "
+           "frames; add --engine bulk\n";
+    return false;
+  }
+  if (spec->fault.recover.enabled() && spec->exec != ExecEngine::kBulk) {
+    err << "error: --recover re-admits crashed nodes between bulk frames; "
            "add --engine bulk\n";
     return false;
   }

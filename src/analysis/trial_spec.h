@@ -3,8 +3,10 @@
 // A TrialSpec bundles what used to be scattered per-tool flag handling:
 // the execution back end (--engine), the G(n, p) seed schedule (--gen),
 // the lane count (--threads), the fault plan (--crash v@r, --loss p,
-// --churn rate, --churn-batches k), and the telemetry sinks (--obs-out,
-// --obs-trace, --progress). parse_trial_flags() consumes those flags —
+// --loss-burst p_on p_off len, --churn rate, --churn-batches k,
+// --churn-live leave join, --recover mean), and the telemetry sinks
+// (--obs-out, --obs-trace, --progress). parse_trial_flags() consumes
+// those flags —
 // wherever they appear — from an argument vector and leaves the tool's
 // own positional arguments behind, so the CLI's run / sweep / beep
 // commands and the bench front ends all accept the identical grammar
@@ -60,9 +62,20 @@ struct TrialSpec {
 ///   --gen NAME          generation schedule (gen::all_schedules())
 ///   --crash V@R         fail-stop node V at round R (repeatable)
 ///   --loss P            per-link-per-round symmetric message loss
+///   --loss-burst P_ON P_OFF LEN
+///                       Gilbert–Elliott burst loss: each edge flips
+///                       good->bad w.p. P_ON and bad->good w.p. P_OFF
+///                       per epoch of LEN rounds (P_ON + P_OFF <= 1);
+///                       composes with --loss (independent draws)
 ///   --churn P           per-batch leave/rejoin probability; implies 4
 ///                       batches unless --churn-batches is given
 ///   --churn-batches K   number of churn batches (>= 1)
+///   --churn-live LEAVE JOIN
+///                       mid-run churn: each alive node leaves w.p.
+///                       LEAVE per round; a leaver returns after a
+///                       Geometric(JOIN) downtime (JOIN 0 = for good)
+///   --recover MEAN      crashed nodes re-enter after a geometric
+///                       downtime with mean MEAN rounds
 ///   --obs-out PATH      telemetry JSONL event stream (slumber-obs-v1)
 ///   --obs-trace PATH    Chrome trace-event file (load in Perfetto)
 ///   --progress          live stderr heartbeat with round/frame ETA

@@ -50,16 +50,22 @@ void BulkLubyA::run(BulkEngine& eng) {
   std::vector<VertexId> alive = all_vertices(n);
   std::vector<std::uint64_t> priority(n, 0);
   std::vector<std::uint8_t> win(n, 0);
-  const bool crashy = eng.crashy();
+  const bool dynamic = eng.dynamic();
   const bool lossy = eng.lossy();
+  // Re-entrants resume as fresh non-winners; their priority is redrawn
+  // with everyone else's at the next round 1.
+  const auto reenter = [&](VertexId v) {
+    win[v] = 0;
+    priority[v] = 0;
+  };
   VirtualRound round = 0;
 
   for (std::uint64_t iteration = 0; iteration < cap && !alive.empty();
        ++iteration) {
     // Round 1: fresh priorities; strict local maxima win.
     ++round;
-    if (crashy) {
-      alive = eng.apply_crashes(std::move(alive), round);
+    if (dynamic) {
+      alive = eng.apply_dynamics(std::move(alive), round, reenter);
       if (alive.empty()) break;
     }
     eng.mark_awake(alive);
@@ -90,9 +96,9 @@ void BulkLubyA::run(BulkEngine& eng) {
 
     // Round 2: winners announce and join; dominated neighbors exit.
     ++round;
-    if (crashy) {
-      alive = eng.apply_crashes(std::move(alive), round);
-      eng.mark_awake(alive);  // awake set shrank
+    if (dynamic) {
+      alive = eng.apply_dynamics(std::move(alive), round, reenter);
+      eng.mark_awake(alive);  // membership changed
     }
     eng.charge_round(alive, round);
     alive = eng.scan_awake(
@@ -151,8 +157,15 @@ void BulkLubyB::run(BulkEngine& eng) {
   std::vector<std::uint64_t> active_deg(n, 0);
   std::vector<std::uint8_t> marked(n, 0);
   std::vector<std::uint8_t> win(n, 0);
-  const bool crashy = eng.crashy();
+  const bool dynamic = eng.dynamic();
   const bool lossy = eng.lossy();
+  // Re-entrants restart the iteration unmarked with no stale win or
+  // degree estimate; both are recomputed from round 1's probe.
+  const auto reenter = [&](VertexId v) {
+    marked[v] = 0;
+    win[v] = 0;
+    active_deg[v] = 0;
+  };
   VirtualRound round = 0;
 
   for (std::uint64_t iteration = 0; iteration < cap && !alive.empty();
@@ -161,8 +174,8 @@ void BulkLubyB::run(BulkEngine& eng) {
     // mark outright, drawing nothing — note the short-circuit). Under
     // loss the degree estimate is the hello count actually heard.
     ++round;
-    if (crashy) {
-      alive = eng.apply_crashes(std::move(alive), round);
+    if (dynamic) {
+      alive = eng.apply_dynamics(std::move(alive), round, reenter);
       if (alive.empty()) break;
     }
     eng.mark_awake(alive);
@@ -194,8 +207,8 @@ void BulkLubyB::run(BulkEngine& eng) {
 
     // Round 2: marked nodes exchange (degree, id); beaten marks unmark.
     ++round;
-    if (crashy) {
-      alive = eng.apply_crashes(std::move(alive), round);
+    if (dynamic) {
+      alive = eng.apply_dynamics(std::move(alive), round, reenter);
       eng.mark_awake(alive);
     }
     eng.charge_round(alive, round);
@@ -228,8 +241,8 @@ void BulkLubyB::run(BulkEngine& eng) {
 
     // Round 3: winners announce and join; dominated neighbors exit.
     ++round;
-    if (crashy) {
-      alive = eng.apply_crashes(std::move(alive), round);
+    if (dynamic) {
+      alive = eng.apply_dynamics(std::move(alive), round, reenter);
       eng.mark_awake(alive);
     }
     eng.charge_round(alive, round);
@@ -295,15 +308,18 @@ void BulkGreedy::run(BulkEngine& eng) {
   });
   std::vector<VertexId> alive = all_vertices(n);
   std::vector<std::uint8_t> win(n, 0);
-  const bool crashy = eng.crashy();
+  const bool dynamic = eng.dynamic();
   const bool lossy = eng.lossy();
+  // Ranks are static (drawn at round 0), so a re-entrant only clears
+  // its stale win bit and resumes the compare-exchange loop.
+  const auto reenter = [&](VertexId v) { win[v] = 0; };
   VirtualRound round = 0;
 
   for (std::uint64_t iteration = 0; iteration < cap && !alive.empty();
        ++iteration) {
     ++round;
-    if (crashy) {
-      alive = eng.apply_crashes(std::move(alive), round);
+    if (dynamic) {
+      alive = eng.apply_dynamics(std::move(alive), round, reenter);
       if (alive.empty()) break;
     }
     eng.mark_awake(alive);
@@ -327,8 +343,8 @@ void BulkGreedy::run(BulkEngine& eng) {
     });
 
     ++round;
-    if (crashy) {
-      alive = eng.apply_crashes(std::move(alive), round);
+    if (dynamic) {
+      alive = eng.apply_dynamics(std::move(alive), round, reenter);
       eng.mark_awake(alive);
     }
     eng.charge_round(alive, round);
@@ -393,8 +409,21 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
   // target's awake status and the round-1 link draw) — the acceptor
   // consults this instead of re-deriving last round's delivery.
   std::vector<std::uint8_t> sent_ok(n, 0);
-  const bool crashy = eng.crashy();
+  const bool dynamic = eng.dynamic();
   const bool lossy = eng.lossy();
+  // A re-entrant resumes as an idle non-proposer with no pending match.
+  // Its port view (port_active / active_count) survives the downtime:
+  // matched neighbors it already struck stay struck, and any it missed
+  // while away are struck again by later round-3 announcements or leave
+  // it proposing to terminated nodes (delivery simply fails) — the same
+  // staleness loss already handles.
+  const auto reenter = [&](VertexId v) {
+    proposer[v] = 0;
+    target[v] = kInvalidVertex;
+    partner[v] = -1;
+    sent_ok[v] = 0;
+    recv[v] = 0;
+  };
   VirtualRound round = 0;
 
   for (std::uint64_t iteration = 0; iteration < cap && !alive.empty();
@@ -443,8 +472,8 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
     // target one acceptor, so the receive tallies go through relaxed
     // atomic increments (an order-free integer sum).
     ++round;
-    if (crashy) {
-      alive = eng.apply_crashes(std::move(alive), round);
+    if (dynamic) {
+      alive = eng.apply_dynamics(std::move(alive), round, reenter);
       if (alive.empty()) break;
     }
     eng.mark_awake(alive);
@@ -477,8 +506,8 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
     // proposer and the acceptor become partners. A proposer targets
     // exactly one node, so partner[w] and recv[w] have a unique writer.
     ++round;
-    if (crashy) {
-      alive = eng.apply_crashes(std::move(alive), round);
+    if (dynamic) {
+      alive = eng.apply_dynamics(std::move(alive), round, reenter);
       eng.mark_awake(alive);
     }
     eng.charge_round(alive, round);
@@ -521,8 +550,8 @@ void BulkIsraeliItai::run(BulkEngine& eng) {
     // Round 3: matched nodes announce and terminate; the rest strike
     // announced neighbors from their active port sets.
     ++round;
-    if (crashy) {
-      alive = eng.apply_crashes(std::move(alive), round);
+    if (dynamic) {
+      alive = eng.apply_dynamics(std::move(alive), round, reenter);
       eng.mark_awake(alive);
     }
     eng.charge_round(alive, round);
@@ -592,8 +621,15 @@ void BulkBeepingMis::run(BulkEngine& eng) {
   std::vector<std::uint64_t> rank(n, 0);
   std::vector<std::uint8_t> contending(n, 0);
   std::vector<std::uint8_t> beeper(n, 0);
-  const bool crashy = eng.crashy();
+  const bool dynamic = eng.dynamic();
   const bool lossy = eng.lossy();
+  // A re-entrant sits out the rest of the current auction (it missed
+  // the phase's candidate draw) and contends from the next phase.
+  const auto reenter = [&](VertexId v) {
+    contending[v] = 0;
+    beeper[v] = 0;
+    rank[v] = 0;
+  };
   VirtualRound round = 0;
 
   for (std::uint64_t phase = 0; phase < phase_cap && !alive.empty(); ++phase) {
@@ -613,8 +649,8 @@ void BulkBeepingMis::run(BulkEngine& eng) {
     // Bit auction, most significant bit first.
     for (std::uint32_t slot = 0; slot < total_bits; ++slot) {
       ++round;
-      if (crashy) {
-        alive = eng.apply_crashes(std::move(alive), round);
+      if (dynamic) {
+        alive = eng.apply_dynamics(std::move(alive), round, reenter);
         eng.mark_awake(alive);
       }
       eng.charge_round(alive, round);
@@ -655,8 +691,8 @@ void BulkBeepingMis::run(BulkEngine& eng) {
 
     // Join slot: survivors beep-and-join; listeners that hear it exit.
     ++round;
-    if (crashy) {
-      alive = eng.apply_crashes(std::move(alive), round);
+    if (dynamic) {
+      alive = eng.apply_dynamics(std::move(alive), round, reenter);
       eng.mark_awake(alive);
     }
     eng.charge_round(alive, round);

@@ -17,6 +17,7 @@ BulkEngine::BulkEngine(const Graph& g, std::uint64_t seed, BulkOptions options)
   const VertexId n = g.num_vertices();
   if (options_.node_metrics) metrics_.node.resize(n);
   if (fault_.has_crashes()) crashed_.assign(n, 0);
+  if (fault_.has_live_churn()) departed_.assign(n, 0);
   outputs_.assign(n, -1);
   // With first_touch, each lane initializes (and so places) the slice
   // of the hot per-node arrays that parallel_for_range will hand it on
@@ -70,6 +71,7 @@ ScanResult BulkEngine::scan_range(
     fn(chunk, 0, total);
     merge_chunk(chunk);
     result.kept = std::move(chunk.kept_);
+    result.dropped = std::move(chunk.dropped_);
     result.user = chunk.user_;
     return result;
   }
@@ -81,16 +83,24 @@ ScanResult BulkEngine::scan_range(
         fn(parts[c], begin, end);
       });
   // Deterministic reduction in chunk index order. Every merged quantity
-  // is an integer sum or max, and the keep() lists concatenate in input
-  // order, so the result is bitwise independent of the lane count.
+  // is an integer sum or max, and the keep()/drop() lists concatenate
+  // in input order, so the result is bitwise independent of the lane
+  // count.
   std::size_t total_kept = 0;
-  for (const BulkChunk& part : parts) total_kept += part.kept_.size();
+  std::size_t total_dropped = 0;
+  for (const BulkChunk& part : parts) {
+    total_kept += part.kept_.size();
+    total_dropped += part.dropped_.size();
+  }
   result.kept.reserve(total_kept);
+  result.dropped.reserve(total_dropped);
   for (BulkChunk& part : parts) {
     merge_chunk(part);
     result.user += part.user_;
     result.kept.insert(result.kept.end(), part.kept_.begin(),
                        part.kept_.end());
+    result.dropped.insert(result.dropped.end(), part.dropped_.begin(),
+                          part.dropped_.end());
   }
   return result;
 }
@@ -133,6 +143,15 @@ void BulkEngine::charge_round(std::span<const VertexId> awake,
     obs::progress_round(static_cast<double>(round));
     if (awake.size() >= options_.parallel_cutoff) {
       obs::counter("awake_set", static_cast<double>(awake.size()));
+    }
+    if (fault_.has_burst()) {
+      // Epoch rollovers of the burst-channel clock: the instants at
+      // which per-link burst states may transition. Write-only.
+      const VirtualRound epoch = round / fault_.plan()->burst.epoch_len;
+      if (epoch != obs_burst_epoch_) {
+        obs_burst_epoch_ = epoch;
+        obs::instant("fault", "burst_epoch", saturate_round(epoch));
+      }
     }
   }
   ++metrics_.distinct_active_rounds;
@@ -188,34 +207,118 @@ void BulkEngine::finish(VertexId v, VirtualRound round) {
   merge_chunk(chunk);
 }
 
-std::vector<VertexId> BulkEngine::apply_crashes(std::vector<VertexId> awake,
-                                                VirtualRound round) {
-  if (!fault_.has_crashes() || awake.empty()) return awake;
+std::vector<VertexId> BulkEngine::apply_dynamics(
+    std::vector<VertexId> awake, VirtualRound round,
+    const std::function<void(VertexId)>& on_reenter) {
+  const bool crashy_run = fault_.has_crashes();
+  const bool churny = fault_.has_live_churn();
+  if (!crashy_run && !churny) return awake;
+  const bool recovering = fault_.has_recovery();
   const RoundHalves halves = round_halves(round);
   const std::uint64_t lo = halves.lo;
   const std::uint64_t hi = halves.hi;
-  ScanResult scan = scan_awake(
-      awake, [&](BulkChunk& chunk, std::span<const VertexId> part) {
-        for (const VertexId v : part) {
-          // Already-crashed nodes are dropped silently (defensive; a
-          // protocol that filters its sets never passes one).
-          if (crashed_[v] != 0) continue;
-          if (fault_.crashes_now(v, lo, hi)) {
-            crashed_[v] = 1;
-            if (options_.node_metrics) metrics_.node[v].crashed = true;
-            chunk.finish(v, round);
-            chunk.bump();
-          } else {
+  const std::size_t before = awake.size();
+  obs::Span span(obs::enabled() && before >= options_.parallel_cutoff
+                     ? "fault"
+                     : nullptr,
+                 "dynamics", before);
+  // Phase 1 (sharded): removal draws over the participating set.
+  // Removed nodes land on the chunk drop() lists exactly when a
+  // comeback must be scheduled, giving phase 2 a chunk-order (lane-
+  // count-independent) sequence to walk.
+  ScanResult scan;
+  if (before > 0) {
+    scan = scan_awake(
+        awake, [&](BulkChunk& chunk, std::span<const VertexId> part) {
+          for (const VertexId v : part) {
+            // Already-down nodes are dropped silently (the SleepingMIS
+            // recursion's ancestor member lists legitimately go stale
+            // when a node leaves inside a child frame).
+            if (down(v)) continue;
+            if (crashy_run && fault_.crashes_now(v, lo, hi)) {
+              crashed_[v] = 1;
+              if (options_.node_metrics) metrics_.node[v].crashed = true;
+              chunk.finish(v, round);
+              chunk.bump();
+              if (recovering) chunk.drop(v);
+              continue;
+            }
+            if (churny) {
+              if (fault_.live_leave(v, lo, hi).leaves) {
+                departed_[v] = 1;
+                chunk.finish(v, round);
+                chunk.drop(v);
+                continue;
+              }
+            }
             chunk.keep(v);
           }
-        }
-      });
-  metrics_.crashed_nodes += scan.user;
+        });
+    metrics_.crashed_nodes += scan.user;
+  }
+  // Phase 2 (serial): schedule comebacks for this round's removals. The
+  // keyed draws are recomputed here rather than smuggled out of the
+  // chunks — same stream, same bits, and the scan lambda stays a pure
+  // filter.
+  std::uint64_t leaves = 0;
+  for (const VertexId v : scan.dropped) {
+    VirtualRound due = 0;
+    if (crashed(v)) {
+      // Just crashed with recovery enabled (only those were drop()ed).
+      due = round + fault_.recover_downtime(v, lo, hi);
+    } else {
+      ++leaves;
+      const fault::LeaveDraw draw = fault_.live_leave(v, lo, hi);
+      if (!draw.rejoins) continue;
+      due = round + draw.downtime;
+    }
+    pending_returns_.push_back({due, v});
+    std::push_heap(pending_returns_.begin(), pending_returns_.end(),
+                   returns_later);
+  }
+  metrics_.live_leaves += leaves;
+  // Phase 3 (serial): re-admit every down node whose downtime elapsed,
+  // in (due round, node id) order. Re-entrants come back undecided; the
+  // protocol resets its own per-node state in on_reenter.
+  std::vector<VertexId> result = std::move(scan.kept);
+  std::uint64_t reentries = 0;
+  while (!pending_returns_.empty() && pending_returns_.front().at <= round) {
+    std::pop_heap(pending_returns_.begin(), pending_returns_.end(),
+                  returns_later);
+    const VertexId v = pending_returns_.back().node;
+    pending_returns_.pop_back();
+    if (crashed(v)) {
+      crashed_[v] = 0;
+      if (options_.node_metrics) metrics_.node[v].crashed = false;
+      ++metrics_.recovered_nodes;
+    } else {
+      departed_[v] = 0;
+      ++metrics_.live_rejoins;
+    }
+    decided_[v] = 0;
+    outputs_[v] = -1;
+    if (on_reenter) on_reenter(v);
+    result.push_back(v);
+    ++reentries;
+  }
+  if (obs::enabled() && (leaves > 0 || reentries > 0)) {
+    // Cumulative event gauges for the export timeline (write-only).
+    if (metrics_.live_leaves > 0) {
+      obs::counter("live_leaves", static_cast<double>(metrics_.live_leaves));
+    }
+    if (metrics_.live_rejoins > 0) {
+      obs::counter("live_rejoins", static_cast<double>(metrics_.live_rejoins));
+    }
+    if (metrics_.recovered_nodes > 0) {
+      obs::counter("recovered_nodes",
+                   static_cast<double>(metrics_.recovered_nodes));
+    }
+  }
   // The coroutine scheduler counts a round whose wake bucket was
   // non-empty as active even when every woken node crashes; the
   // protocol's charge_round(empty set) would miss it.
-  if (scan.kept.empty()) ++metrics_.distinct_active_rounds;
-  return std::move(scan.kept);
+  if (result.empty() && before > 0) ++metrics_.distinct_active_rounds;
+  return result;
 }
 
 BulkResult BulkEngine::take_result() {
@@ -232,6 +335,7 @@ BulkResult BulkEngine::take_result() {
   result.outputs = std::move(outputs_);
   result.virtual_makespan = virtual_makespan_;
   result.crashed = std::move(crashed_);
+  result.departed = std::move(departed_);
   return result;
 }
 

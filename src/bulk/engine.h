@@ -112,8 +112,10 @@ struct BulkOptions {
   /// fault decision is a keyed util::stream_rng draw evaluated
   /// chunk-locally and merged in chunk index order, so faulty runs stay
   /// bitwise identical at every lane count and agree with the coroutine
-  /// scheduler under the same plan and seed. FaultPlan::churn is
-  /// applied by the experiment layer after the run, not here.
+  /// scheduler under the same plan and seed. Live dynamics (mid-run
+  /// churn, crash recovery) run inside apply_dynamics between frames;
+  /// FaultPlan::churn is applied by the experiment layer after the run,
+  /// not here.
   const fault::FaultPlan* fault = nullptr;
 };
 
@@ -122,9 +124,13 @@ struct BulkResult {
   std::vector<std::int64_t> outputs;
   /// Exact (un-saturated) makespan in virtual rounds.
   VirtualRound virtual_makespan = 0;
-  /// crashed[v] != 0 iff v fail-stopped during the run; empty when the
-  /// run had no crash faults configured.
+  /// crashed[v] != 0 iff v fail-stopped during the run and (under crash
+  /// recovery) never came back; empty when the run had no crash faults
+  /// configured.
   std::vector<std::uint8_t> crashed;
+  /// departed[v] != 0 iff v left via mid-run churn and was still out at
+  /// the end; empty when the run had no live churn configured.
+  std::vector<std::uint8_t> departed;
 };
 
 class BulkEngine;
@@ -177,6 +183,12 @@ class BulkChunk {
   /// in input order gets an order-preserving parallel filter.
   void keep(VertexId v) { kept_.push_back(v); }
 
+  /// Appends v to the chunk's second ordered output list
+  /// (ScanResult::dropped). apply_dynamics collects the nodes removed
+  /// this round here, so downtime scheduling happens in a deterministic
+  /// order no matter how the scan was chunked.
+  void drop(VertexId v) { dropped_.push_back(v); }
+
   /// Free-form per-chunk counter; scan_awake returns the sum across
   /// chunks (protocols use it for trace statistics like isolated
   /// joins).
@@ -188,6 +200,7 @@ class BulkChunk {
 
   BulkEngine* eng_;
   std::vector<VertexId> kept_;
+  std::vector<VertexId> dropped_;
   std::uint64_t user_ = 0;
   std::uint64_t total_messages_ = 0;
   std::uint64_t dropped_messages_ = 0;
@@ -197,10 +210,12 @@ class BulkChunk {
   VirtualRound virtual_makespan_ = 0;
 };
 
-/// What a sharded scan produced: the chunk keep() lists concatenated in
-/// chunk index order, and the sum of the chunk bump() counters.
+/// What a sharded scan produced: the chunk keep() and drop() lists each
+/// concatenated in chunk index order, and the sum of the chunk bump()
+/// counters.
 struct ScanResult {
   std::vector<VertexId> kept;
+  std::vector<VertexId> dropped;
   std::uint64_t user = 0;
 };
 
@@ -265,6 +280,13 @@ class BulkEngine {
   bool lossy() const { return fault_.has_loss(); }
   bool crashy() const { return fault_.has_crashes(); }
 
+  /// True iff the membership can change mid-run (crashes, mid-run
+  /// churn, recovery re-entries): the gate protocols hoist for the
+  /// apply_dynamics round prologue.
+  bool dynamic() const {
+    return fault_.has_crashes() || fault_.has_live_churn();
+  }
+
   /// Is the undirected link {a, b} up at `round`? Symmetric keyed draw:
   /// both directions, every lane, and the coroutine scheduler compute
   /// the identical bit. Always true without a loss plan.
@@ -273,22 +295,49 @@ class BulkEngine {
     return !fault_.link_down(a, b, halves.lo, halves.hi);
   }
 
-  /// True iff v fail-stopped earlier in the run.
+  /// True iff v is fail-stopped right now (crash recovery clears the
+  /// flag when the node re-enters).
   bool crashed(VertexId v) const {
     return !crashed_.empty() && crashed_[v] != 0;
   }
 
-  /// Crash-aware round prologue: evaluates the crash draw for every
-  /// node of `awake` at `round` and returns the survivors in input
-  /// order (order-preserving sharded filter). Crashed nodes are
-  /// fail-stopped: flagged, finish-stamped at the crash round, and
-  /// counted in Metrics::crashed_nodes. Call before mark_awake() /
-  /// charge_round() of every faulty round; a no-op pass-through when no
-  /// crash faults are configured. Matching the coroutine scheduler, a
-  /// round whose every awake node crashes still counts as a distinct
-  /// active round.
-  std::vector<VertexId> apply_crashes(std::vector<VertexId> awake,
-                                      VirtualRound round);
+  /// True iff v is currently out via mid-run churn.
+  bool departed(VertexId v) const {
+    return !departed_.empty() && departed_[v] != 0;
+  }
+
+  /// True iff v is currently out of the network for any reason.
+  bool down(VertexId v) const { return crashed(v) || departed(v); }
+
+  /// Live-dynamics round prologue: evaluates the crash and mid-run
+  /// leave draws for every node of `awake` at `round` and re-admits
+  /// every down node whose keyed-draw downtime has elapsed. Returns the
+  /// survivors in input order (order-preserving sharded filter)
+  /// followed by the re-entrants in (due round, node id) order.
+  ///
+  /// Removals: crashed nodes are fail-stopped (flagged, finish-stamped,
+  /// counted in Metrics::crashed_nodes); under RecoverSpec their
+  /// comeback round is scheduled from a keyed downtime draw. Leavers
+  /// (LiveChurnSpec) are treated likewise, with their rejoin downtime
+  /// drawn from the leave stream itself. Already-down nodes in `awake`
+  /// are dropped silently (stale ancestor member lists in the
+  /// SleepingMIS recursion legitimately carry nodes that left inside a
+  /// child frame).
+  ///
+  /// Re-entries: the engine clears the node's down flag and decision
+  /// state (it re-enters undecided) and calls `on_reenter` so the
+  /// protocol can reset its own per-node state before the node is
+  /// appended to the returned set.
+  ///
+  /// Call before mark_awake() / charge_round() of every dynamic round;
+  /// a no-op pass-through when dynamic() is false. Matching the
+  /// coroutine scheduler, a round whose every awake node crashes (and
+  /// that admits no re-entrant) still counts as a distinct active
+  /// round. Every draw is keyed on (node, round), so the returned set —
+  /// and all bookkeeping — is bitwise independent of the lane count.
+  std::vector<VertexId> apply_dynamics(
+      std::vector<VertexId> awake, VirtualRound round,
+      const std::function<void(VertexId)>& on_reenter = {});
 
   // --- single-node accounting (serial convenience) ------------------
 
@@ -345,10 +394,29 @@ class BulkEngine {
   // in the obs export. Bumped only while a recorder is installed and
   // never read by the engine or any protocol.
   std::uint64_t obs_scan_seq_ = 0;
+  // Telemetry-only: last burst-channel epoch marked in the export
+  // (charge_round emits an instant per rollover). Never read by any
+  // decision; starts at the wrap value so epoch 0 is marked too.
+  VirtualRound obs_burst_epoch_ = static_cast<VirtualRound>(-1);
   fault::FaultState fault_;
-  // crashed_[v] != 0 iff v fail-stopped; allocated only under a plan
-  // with crash faults (each slot is written by the lane owning v).
+  // crashed_[v] != 0 iff v is fail-stopped right now; allocated only
+  // under a plan with crash faults (each slot is written by the lane
+  // owning v; recovery re-entries clear it serially).
   std::vector<std::uint8_t> crashed_;
+  // departed_[v] != 0 iff v is out via mid-run churn; allocated only
+  // under a plan with live churn.
+  std::vector<std::uint8_t> departed_;
+  // Scheduled comebacks (crash recoveries and churn rejoins), a binary
+  // min-heap on (due round, node id) — a deterministic pop order no
+  // matter in which round the entries were pushed.
+  struct PendingReturn {
+    VirtualRound at = 0;
+    VertexId node = 0;
+  };
+  static bool returns_later(const PendingReturn& a, const PendingReturn& b) {
+    return a.at > b.at || (a.at == b.at && a.node > b.node);
+  }
+  std::vector<PendingReturn> pending_returns_;
 };
 
 // --- BulkChunk inline implementations --------------------------------

@@ -47,8 +47,13 @@ struct Walker {
   std::uint32_t status_bits;
   // Fault flags hoisted once per run; the fault-free hot loops pay one
   // predictable branch.
-  bool crashy = false;
+  bool dynamic = false;
   bool lossy = false;
+  // Live-dynamics re-entry hook: a node coming back (crash recovery or
+  // churn rejoin) resumes undecided in whatever frame is current, so
+  // its tri-state status must return to kUnknown (the engine already
+  // cleared its decision state).
+  std::function<void(VertexId)> reenter;
 
   bool coin(VertexId v, std::uint32_t i) const {
     return (bits[std::uint64_t{v} * words_per_node + i / 64] >> (i % 64)) & 1;
@@ -103,7 +108,7 @@ struct Walker {
     // First isolated-node detection (lines 13-16), 1 round: only this
     // frame's members are awake, so hearing no hello means "isolated in
     // G[U]" (under loss: effectively isolated this round).
-    if (crashy) members = eng.apply_crashes(std::move(members), start);
+    if (dynamic) members = eng.apply_dynamics(std::move(members), start, reenter);
     eng.mark_awake(members);
     eng.charge_round(members, start);
     const ScanResult detect1 = eng.scan_awake(
@@ -157,7 +162,7 @@ struct Walker {
     // coroutine engine's message snapshot does — per lane as well as
     // serially.
     const VirtualRound sync = start + duration128(k - 1) + 1;
-    if (crashy) members = eng.apply_crashes(std::move(members), sync);
+    if (dynamic) members = eng.apply_dynamics(std::move(members), sync, reenter);
     eng.mark_awake(members);  // children bumped the epoch during the left call
     eng.charge_round(members, sync);
     eng.scan_awake(members, [&](BulkChunk& chunk,
@@ -186,9 +191,9 @@ struct Walker {
     // Only Unknown -> True transitions happen, and both Unknown and True
     // block a neighbor's join, so the in-place scan is again exact.
     const VirtualRound detect2 = sync + 1;
-    if (crashy) {
-      members = eng.apply_crashes(std::move(members), detect2);
-      eng.mark_awake(members);  // awake set shrank; sync's marking is stale
+    if (dynamic) {
+      members = eng.apply_dynamics(std::move(members), detect2, reenter);
+      eng.mark_awake(members);  // membership changed; sync's marking is stale
     }
     eng.charge_round(members, detect2);
     eng.scan_awake(members, [&](BulkChunk& chunk,
@@ -254,8 +259,10 @@ void BulkSleepingMis::run(BulkEngine& engine) {
            {},
            sim::Message::hello().bits,
            sim::Message::status(0).bits,
-           engine.crashy(),
-           engine.lossy()};
+           engine.dynamic(),
+           engine.lossy(),
+           {}};
+  w.reenter = [&w](VertexId v) { w.set_value(v, core::MisValue::kUnknown); };
 
   // First-touch placement for the protocol's per-node arrays (packed
   // coin bits, tri-state statuses): fill them in the pool's chunk
@@ -328,8 +335,9 @@ void BulkSleepingMis::run(BulkEngine& engine) {
   engine.scan_range(n, [&](BulkChunk& chunk, std::size_t begin,
                            std::size_t end) {
     for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
-      // Crashed nodes got their finish_round stamped at crash time.
-      if (!engine.crashed(v)) chunk.finish(v, total);
+      // Down nodes (crashed or departed) got their finish_round stamped
+      // when they dropped out.
+      if (!engine.down(v)) chunk.finish(v, total);
     }
   });
 }

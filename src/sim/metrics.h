@@ -26,7 +26,9 @@ struct NodeMetrics {
   std::uint64_t awake_at_decision = 0;  // awake rounds used up to decision
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
-  bool crashed = false;  // fail-stop injected (see NetworkOptions)
+  // Fail-stopped by injection and still down (crash recovery clears it
+  // when the node re-enters; without recovery it means "ever crashed").
+  bool crashed = false;
 
   /// Whole-struct bitwise comparison: the engine-equivalence and
   /// thread-determinism gates compare entire runs with ==, so a new
@@ -52,6 +54,15 @@ struct Metrics {
   std::uint64_t churn_leaves = 0;
   std::uint64_t churn_joins = 0;
   std::uint64_t churn_repair_rounds = 0;  // incremental repair passes
+  // Live-dynamics accounting (fault/fault.h Live/RecoverSpec; bulk
+  // engine only — all zero otherwise). Leaves/rejoins count mid-run
+  // churn events; recovered_nodes counts crashed nodes that came back;
+  // live_repair_rounds counts the final repair's passes (the experiment
+  // layer repairs the surviving MIS once, after a live-dynamics run).
+  std::uint64_t live_leaves = 0;
+  std::uint64_t live_rejoins = 0;
+  std::uint64_t recovered_nodes = 0;
+  std::uint64_t live_repair_rounds = 0;
 
   double node_avg_awake() const;
   std::uint64_t worst_awake() const;

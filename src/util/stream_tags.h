@@ -57,6 +57,20 @@ inline constexpr std::uint64_t kChurnTag = 0xC4024AD0'5EED'0003ULL;
 // incremental MIS repair (fault/churn.cc, prio/beats).
 inline constexpr std::uint64_t kRepairTag = 0x4EBA14D0'5EED'0004ULL;
 
+// SLUMBER-STREAM-TAG(burst): per-(edge, epoch) Gilbert-Elliott channel
+// regeneration + state draws of the burst-loss model (fault/fault.h,
+// FaultState::burst_bad).
+inline constexpr std::uint64_t kBurstTag = 0xB5257AD0'5EED'0005ULL;
+
+// SLUMBER-STREAM-TAG(live-churn): per-(node, round) mid-run leave draws
+// plus the rejoin-downtime draw taken from the same stream at leave
+// time (fault/fault.h, FaultState::live_leave).
+inline constexpr std::uint64_t kLiveChurnTag = 0x11FEC4D0'5EED'0006ULL;
+
+// SLUMBER-STREAM-TAG(recover): per-(node, crash round) downtime draws
+// of crash recovery (fault/fault.h, FaultState::recover_downtime).
+inline constexpr std::uint64_t kRecoverTag = 0x4EC0FED0'5EED'0007ULL;
+
 /// Every registered tag, for the pairwise-distinctness proof below and
 /// for tooling. Append when registering a new tag.
 inline constexpr std::uint64_t kAllStreamTags[] = {
@@ -64,6 +78,9 @@ inline constexpr std::uint64_t kAllStreamTags[] = {
     kCrashTag,
     kChurnTag,
     kRepairTag,
+    kBurstTag,
+    kLiveChurnTag,
+    kRecoverTag,
 };
 
 namespace detail {

@@ -9,3 +9,12 @@ std::uint64_t fx_draw_unhinted(std::uint64_t seed, std::uint64_t n) {
   const std::uint64_t stream = n * 1000003ULL;
   return util::stream_rng(seed, stream).next_u64();  // MUST-FLAG(slumber-d6)
 }
+
+std::uint64_t fx_draw_rogue_chain(std::uint64_t seed, std::uint64_t v,
+                                  std::uint64_t lo, std::uint64_t hi) {
+  // A two-hop mix chain whose innermost key is an ad-hoc constant, not
+  // a registered tag: mixing does not launder it.
+  const std::uint64_t stream =
+      util::detail::mix(util::detail::mix(0xFEEDULL ^ v, lo), hi);
+  return util::stream_rng(seed, stream).next_u64();  // MUST-FLAG(slumber-d6)
+}

@@ -19,6 +19,16 @@ std::uint64_t fx_draw_block(std::uint64_t seed, std::uint64_t b) {
   return util::stream_rng(seed, b).next_u64();
 }
 
+std::uint64_t fx_draw_gamma(std::uint64_t seed, std::uint64_t v,
+                            std::uint64_t lo, std::uint64_t hi) {
+  // Two-hop mix chain folding a 128-bit round's halves onto the tag —
+  // the shape the live-fault layer (burst / live churn / recovery
+  // draws) keys with.
+  const std::uint64_t stream =
+      util::detail::mix(util::detail::mix(kFxGammaTag ^ v, lo), hi);
+  return util::stream_rng(seed, stream).next_u64();
+}
+
 std::uint64_t fx_draw_legacy(std::uint64_t seed, std::uint64_t n) {
   // NOLINTNEXTLINE(slumber-d6): legacy replay stream kept bit-compatible with v1 traces
   return util::stream_rng(seed, n * 3).next_u64();

@@ -13,9 +13,15 @@ inline constexpr std::uint64_t kFxAlphaTag = 0xA1FA0000'5EED'0001ULL;
 // SLUMBER-STREAM-TAG(fx-beta): fixture stream B (per-batch draws).
 inline constexpr std::uint64_t kFxBetaTag = 0xBE7A0000'5EED'0002ULL;
 
+// SLUMBER-STREAM-TAG(fx-gamma): fixture stream C (per-(entity, 128-bit
+// round) draws keyed through a two-hop mix chain, the live-fault
+// layer's shape).
+inline constexpr std::uint64_t kFxGammaTag = 0x6A3A0000'5EED'0003ULL;
+
 inline constexpr std::uint64_t kAllStreamTags[] = {
     kFxAlphaTag,
     kFxBetaTag,
+    kFxGammaTag,
 };
 
 }  // namespace slumber::util::stream_tags

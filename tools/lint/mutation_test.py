@@ -62,6 +62,20 @@ PLANTS = [
         "slumber-d6",
     ),
     (
+        "d6-live-churn-unregistered-stream",
+        "src/fault/fault.h",
+        "util::stream_tags::kLiveChurnTag ^ v",
+        "0xBADC0DE5EEDULL ^ v",
+        "slumber-d6",
+    ),
+    (
+        "d6-burst-unregistered-stream",
+        "src/fault/fault.h",
+        "util::stream_tags::kBurstTag ^ edge",
+        "0xFEED5EEDULL ^ edge",
+        "slumber-d6",
+    ),
+    (
         "d7-engine-truncated-makespan",
         "src/bulk/engine.cc",
         "metrics_.makespan = saturate_round(virtual_makespan_);",

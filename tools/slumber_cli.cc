@@ -24,9 +24,15 @@
 // Fault-injection flags (run / sweep / beep; see fault/fault.h) ride
 // the same global grammar: `--crash V@R` fail-stops node V at round R
 // (repeatable), `--loss P` drops each otherwise-deliverable message
-// with probability P (symmetric per link per round), and `--churn P`
+// with probability P (symmetric per link per round), `--loss-burst
+// P_ON P_OFF LEN` adds Gilbert–Elliott burst-correlated loss (per-edge
+// on/off channel, epochs of LEN rounds), and `--churn P`
 // [--churn-batches K] runs post-protocol membership churn with
-// incremental MIS repair. Churn needs `--engine bulk`. All fault
+// incremental MIS repair. Live dynamics run *between* bulk frames:
+// `--churn-live LEAVE JOIN` makes alive nodes leave (and geometrically
+// rejoin), `--recover MEAN` re-admits crashed nodes after a geometric
+// downtime; both end in one incremental repair of the survivors' MIS.
+// Churn, live churn, and recovery need `--engine bulk`. All fault
 // streams are engine- and lane-count-independent.
 //
 // Telemetry flags (any command; see obs/obs.h): `--obs-out run.jsonl`
@@ -143,8 +149,10 @@ int usage() {
   std::cerr <<
       "usage: slumber [--threads N] [--engine coroutine|bulk] "
       "[--gen legacy|sharded] [--crash V@R] [--loss P] "
-      "[--churn P [--churn-batches K]] [--obs-out FILE.jsonl] "
-      "[--obs-trace FILE.json] [--progress] <command> ...\n"
+      "[--loss-burst P_ON P_OFF LEN] [--churn P [--churn-batches K]] "
+      "[--churn-live LEAVE JOIN] [--recover MEAN_DOWN] "
+      "[--obs-out FILE.jsonl] [--obs-trace FILE.json] [--progress] "
+      "<command> ...\n"
       "  slumber families\n"
       "  slumber engines\n"
       "  slumber run <engine> <family> <n> [seed]\n"
@@ -233,6 +241,17 @@ int cmd_run(const analysis::MisEngine engine, const gen::Family family,
   if (g_spec.fault_or_null() != nullptr) {
     std::cout << "faults: crashed " << run.metrics.crashed_nodes
               << ", lost messages " << run.metrics.injected_losses;
+    if (g_spec.fault.recover.enabled()) {
+      std::cout << ", recovered " << run.metrics.recovered_nodes;
+    }
+    if (g_spec.fault.live_churn.enabled()) {
+      std::cout << ", live churn -" << run.metrics.live_leaves << "/+"
+                << run.metrics.live_rejoins << " nodes";
+    }
+    if (g_spec.fault.has_live_dynamics()) {
+      std::cout << " (" << run.metrics.live_repair_rounds
+                << " final repair passes)";
+    }
     if (g_spec.fault.churn.enabled()) {
       std::cout << ", churn -" << run.metrics.churn_leaves << "/+"
                 << run.metrics.churn_joins << " nodes over "
